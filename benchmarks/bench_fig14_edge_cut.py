@@ -1,0 +1,49 @@
+"""Figure 14 — maximum per-partition edge cut (GP-splitLoc).
+
+Paper: the max per-partition cut of GP-splitLoc partitions vs partition
+count, compared against the all-remote-communication baseline
+(total edges / partitions).  At the largest counts the ratio is 19x for
+WY, 2.7x for NY, averaging 7.83x across the seven states — i.e. even a
+good partitioner leaves the *worst* partition with several times the
+average communication volume.
+"""
+
+import numpy as np
+
+from repro.analysis.edgecut import edge_cut_sweep
+from repro.partition.splitloc import split_heavy_locations
+
+KS = [4, 16, 64, 256]
+
+
+def test_fig14_max_partition_cut(benchmark, state_graphs, report):
+    def sweep():
+        out = {}
+        for state, g in state_graphs.items():
+            sr = split_heavy_locations(g, max_partitions=98304)
+            out[state] = edge_cut_sweep(sr.graph, KS)
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    report("Figure 14 — max per-partition edge cut (GP-splitLoc)")
+    report("k:  " + " ".join(f"{k:>9}" for k in KS))
+    for state, pts in out.items():
+        report(f"{state}: " + " ".join(f"{p.max_partition_cut:>9}" for p in pts))
+    report("")
+    report("ratio to all-remote baseline (total edges / k):")
+    ratios_at_max = {}
+    for state, pts in out.items():
+        report(f"{state}: " + " ".join(f"{p.ratio:>9.2f}" for p in pts))
+        ratios_at_max[state] = pts[-1].ratio
+    mean_ratio = float(np.mean(list(ratios_at_max.values())))
+    report("")
+    report(f"mean ratio at k={KS[-1]}: {mean_ratio:.2f} "
+           f"(paper: 7.83 average at its largest counts)")
+
+    # Shape: the worst partition's cut exceeds the all-remote average at
+    # the largest k for most states (the paper's §V point that total-cut
+    # minimisation does not balance per-partition cut).
+    above = sum(1 for r in ratios_at_max.values() if r > 1.0)
+    assert above >= 5, f"only {above}/7 states show the hotspot effect"
+    assert mean_ratio > 1.0

@@ -1,0 +1,54 @@
+"""Figure 4 — upper-bound speedup vs number of partitions (GP).
+
+Paper: S_ub = L_tot/L_max of GP partitions, evaluated for seven states
+over 12–196,608 partitions; curves rise then saturate at L_tot/l_max,
+and larger states saturate higher.  We regenerate with the real
+multilevel partitioner at small k and the LPT balance bound at large k
+(labelled), which is where GP saturates anyway.
+"""
+
+import numpy as np
+
+from repro.analysis.speedup import speedup_bound_curve
+from repro.loadmodel.workload import WorkloadModel
+
+GP_KS = [2, 4, 12, 48, 192]
+LPT_KS = [768, 3072, 12288, 49152, 196608]
+
+
+def test_fig4_speedup_bound(benchmark, state_graphs, report):
+    def sweep():
+        out = {}
+        for state, g in state_graphs.items():
+            gp = speedup_bound_curve(g, GP_KS, method="gp")
+            lpt = speedup_bound_curve(g, LPT_KS, method="lpt")
+            out[state] = {**gp, **lpt}
+        return out
+
+    curves = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    ks = GP_KS + LPT_KS
+    report("Figure 4 — upper bound on estimated speedup (GP / GP~LPT)")
+    report("k: " + " ".join(f"{k:>8}" for k in ks))
+    for state, curve in curves.items():
+        report(f"{state}: " + " ".join(f"{curve[k]:>8.1f}" for k in ks))
+    report("")
+    report("(k <= 192 uses the multilevel partitioner; larger k uses the")
+    report(" LPT balance bound, which GP saturates to)")
+
+    wl = WorkloadModel()
+    for state, curve in curves.items():
+        g = state_graphs[state]
+        loads = wl.location_weights(g).astype(float)
+        cap = loads.sum() / loads.max()
+        values = [curve[k] for k in ks]
+        # Curves rise then saturate at the l_max cap — the paper's shape.
+        # (Our bench-scale graphs saturate within tens of partitions; the
+        # paper's full-size states within thousands.)
+        assert values[-1] <= cap * 1.01
+        assert values[-1] >= 0.6 * cap
+        assert values[0] < values[-1]
+    # The size→scalability trend across states is asserted in the
+    # Figure-5 bench, where all 49 states share one scale factor; here
+    # the per-state bench scales differ, so cross-state comparison of
+    # absolute saturation levels is not meaningful.

@@ -1,0 +1,56 @@
+"""Figure 5 — max(S_ub)/D across the 48 contiguous states + DC.
+
+Paper: one dot per state; before splitLoc, per-location scalability
+S_ub/D *decreases* with data size (the §III-B power-law argument);
+after splitLoc the ceiling lifts by orders of magnitude and the
+downward trend flattens.
+"""
+
+import numpy as np
+
+from repro.analysis.speedup import analytic_sub_over_d_bound, sub_over_d
+from repro.partition.splitloc import split_heavy_locations
+from repro.synthpop import synthetic_state_sweep
+
+
+def test_fig5_sub_over_d(benchmark, report):
+    def sweep():
+        graphs = synthetic_state_sweep(scale=5e-5, seed=1)
+        rows = []
+        for state, g in sorted(graphs.items(), key=lambda kv: kv[1].n_locations):
+            before = sub_over_d(g)
+            sr = split_heavy_locations(g, max_partitions=98304)
+            after = sub_over_d(sr.graph)
+            rows.append((state, g.n_locations, before, after, sr.n_split))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    report("Figure 5 — max estimated speedup per location (S_ub / D)")
+    report(f"{'state':>6} {'locations':>10} {'before':>10} {'after':>10} {'n_split':>8}")
+    for state, d, before, after, n_split in rows:
+        report(f"{state:>6} {d:>10} {before:>10.4f} {after:>10.4f} {n_split:>8}")
+
+    befores = np.array([r[2] for r in rows])
+    afters = np.array([r[3] for r in rows])
+    sizes = np.array([float(r[1]) for r in rows])
+
+    # (a) before: scalability per location degrades with size
+    #     (negative log-log correlation, the paper's Figure 5a trend).
+    corr = np.corrcoef(np.log10(sizes), np.log10(befores))[0, 1]
+    report("")
+    report(f"log-log correlation(size, S_ub/D) before split: {corr:.2f}")
+    assert corr < -0.3
+
+    # (b) after: ceiling lifted for every state.
+    improvement = afters / befores
+    report(f"improvement after splitLoc: mean {improvement.mean():.1f}x, "
+           f"min {improvement.min():.1f}x, max {improvement.max():.1f}x")
+    assert np.all(improvement >= 1.0)
+    assert improvement.mean() > 3.0
+
+    # The paper's analytic bound has the same direction.
+    bound_small = analytic_sub_over_d_bound(2.0, 14.35, int(sizes.min()))
+    bound_big = analytic_sub_over_d_bound(2.0, 14.35, int(sizes.max()))
+    report(f"analytic bound: {bound_small:.4f} (smallest) -> {bound_big:.4f} (largest)")
+    assert bound_big < bound_small

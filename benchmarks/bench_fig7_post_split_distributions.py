@@ -1,0 +1,40 @@
+"""Figure 7 — degree & load distributions after graph modification.
+
+Paper: compared to Figure 3(c,d), the splitLoc-processed graphs lose
+their extreme tail — the distributions truncate around the split
+threshold while the bulk is unchanged.
+"""
+
+import numpy as np
+
+from repro.analysis.distributions import degree_distribution, load_distribution
+from repro.partition.splitloc import split_heavy_locations
+
+
+def test_fig7_distributions(benchmark, state_graphs, report):
+    def build():
+        out = {}
+        for state, g in state_graphs.items():
+            sr = split_heavy_locations(g, max_partitions=98304)
+            out[state] = (
+                degree_distribution(g),
+                degree_distribution(sr.graph),
+                load_distribution(g),
+                load_distribution(sr.graph),
+            )
+        return out
+
+    out = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    report("Figure 7 — distributions after splitLoc (tail truncation)")
+    report(f"{'state':>6} {'deg max before':>15} {'deg max after':>14} "
+           f"{'load max before':>16} {'load max after':>15}")
+    for state, (deg_b, deg_a, load_b, load_a) in out.items():
+        report(
+            f"{state:>6} {deg_b.edges[-1]:>15.0f} {deg_a.edges[-1]:>14.0f} "
+            f"{load_b.edges[-1]:>16.3g} {load_a.edges[-1]:>15.3g}"
+        )
+        # Tail truncated in both views; bulk (total mass) unchanged.
+        assert deg_a.edges[-1] < deg_b.edges[-1]
+        assert load_a.edges[-1] < load_b.edges[-1]
+        assert deg_a.counts.sum() >= deg_b.counts.sum()  # D grew slightly

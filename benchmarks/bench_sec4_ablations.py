@@ -1,0 +1,249 @@
+"""§IV ablations — each communication optimisation in isolation.
+
+The figures for §IV-A/B/C are lost in the available text (see
+EXPERIMENTS.md), so these benches reconstruct the experiments their
+prose describes, plus the design-choice ablations DESIGN.md §6 lists:
+
+* SMP mode on/off (§IV-A): dedicated comm threads vs per-core processes;
+* completion detection vs quiescence detection (§IV-B): wave counts and
+  sync cost;
+* aggregation buffer sweep (§IV-C): 0 → 256 KiB;
+* splitLoc threshold policy: the paper's rule vs fixed quantiles;
+* multi-constraint vs single-constraint partitioning (§III-A).
+"""
+
+import numpy as np
+
+from repro.charm.machine import Machine, MachineConfig
+from repro.core import Scenario, TransmissionModel
+from repro.core.parallel import Distribution, ParallelEpiSimdemics
+from repro.loadmodel.workload import WorkloadModel, vertex_weight_matrix
+from repro.partition import (
+    imbalance,
+    partition_bipartite,
+    partition_loads,
+    round_robin_partition,
+    split_heavy_locations,
+)
+from repro.partition.csr import CSRGraph, bipartite_to_csr
+from repro.partition.metis import MultilevelPartitioner
+from repro.partition.quality import BipartitePartition
+
+N_DAYS = 3
+
+
+def _machine(smp: bool) -> MachineConfig:
+    if smp:
+        return MachineConfig(n_nodes=4, cores_per_node=16, smp=True, processes_per_node=2)
+    return MachineConfig(n_nodes=4, cores_per_node=16, smp=False)
+
+
+def _run(graph, mc, sync="cd", agg=64 * 1024):
+    m = Machine(mc)
+    sc = Scenario(
+        graph=graph, n_days=N_DAYS, seed=9, initial_infections=10,
+        transmission=TransmissionModel(2e-4),
+    )
+    dist = Distribution.from_partition(round_robin_partition(graph, m.n_pes), m)
+    return ParallelEpiSimdemics(sc, mc, dist, sync=sync, aggregation_bytes=agg)
+
+
+def test_ablation_smp_mode(benchmark, ia, report):
+    graph = split_heavy_locations(ia, max_partitions=1024).graph
+
+    def run():
+        out = {}
+        for smp in (False, True):
+            sim = _run(graph, _machine(smp))
+            res = sim.run()
+            out[smp] = (res.time_per_day, Machine(_machine(smp)).n_pes)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("§IV-A — SMP mode ablation (RR, CD, 64 KiB aggregation)")
+    report(f"{'mode':<10} {'PEs':>5} {'t/day (ms)':>11}")
+    report(f"{'non-SMP':<10} {out[False][1]:>5} {out[False][0] * 1e3:>11.3f}")
+    report(f"{'SMP':<10} {out[True][1]:>5} {out[True][0] * 1e3:>11.3f}")
+    report("")
+    report("SMP trades cores (comm threads) for interference-free compute")
+    report("and per-message offload; with aggregation keeping message")
+    report("counts low, the two layouts end up close — SMP must at least")
+    report("be competitive despite running 12.5% fewer compute PEs.")
+    t_flat, t_smp = out[False][0], out[True][0]
+    assert t_smp < t_flat * 1.3, "SMP should be competitive with aggregation on"
+    # Without aggregation both layouts degrade: non-SMP pays inline
+    # per-message costs, SMP saturates its comm threads — the reason the
+    # paper pairs SMP with aggregation rather than shipping it alone.
+    t_flat0 = _run(graph, _machine(False), agg=0).run().time_per_day
+    t_smp0 = _run(graph, _machine(True), agg=0).run().time_per_day
+    report("")
+    report(f"without aggregation: non-SMP {t_flat0 * 1e3:.3f} ms, SMP {t_smp0 * 1e3:.3f} ms")
+    report("(both degrade; SMP comm threads saturate on per-visit messages)")
+    assert t_flat0 > t_flat
+    assert t_smp0 > t_smp
+
+
+def test_ablation_cd_vs_qd(benchmark, ia, report):
+    graph = split_heavy_locations(ia, max_partitions=1024).graph
+
+    def run():
+        out = {}
+        for sync in ("cd", "qd"):
+            sim = _run(graph, _machine(True), sync=sync)
+            res = sim.run()
+            waves = sim.visit_detector.waves_run + sim.infect_detector.waves_run
+            out[sync] = (res.time_per_day, waves)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("§IV-B — completion detection vs quiescence detection")
+    report(f"{'sync':<6} {'t/day (ms)':>11} {'waves (3 days)':>15}")
+    for sync in ("cd", "qd"):
+        report(f"{sync:<6} {out[sync][0] * 1e3:>11.3f} {out[sync][1]:>15}")
+    assert out["qd"][1] > out["cd"][1]  # QD needs more waves
+    assert out["cd"][0] <= out["qd"][0] * 1.001  # and is never cheaper to skip
+
+
+def test_ablation_aggregation_buffer(benchmark, ia, report):
+    graph = split_heavy_locations(ia, max_partitions=1024).graph
+    buffers = [0, 1024, 8 * 1024, 64 * 1024, 256 * 1024]
+
+    def run():
+        out = {}
+        for b in buffers:
+            sim = _run(graph, _machine(True), agg=b)
+            res = sim.run()
+            out[b] = (res.time_per_day, sum(sim.runtime.msg_counter.values()))
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("§IV-C — aggregation buffer sweep (SMP, CD)")
+    report(f"{'buffer':>9} {'t/day (ms)':>11} {'wire msgs':>10}")
+    for b in buffers:
+        label = "off" if b == 0 else f"{b // 1024} KiB"
+        report(f"{label:>9} {out[b][0] * 1e3:>11.3f} {out[b][1]:>10}")
+    # Aggregation reduces messages monotonically and helps time overall.
+    msgs = [out[b][1] for b in buffers]
+    assert msgs[-1] < msgs[0]
+    assert out[buffers[-1]][0] < out[0][0]
+
+
+def test_ablation_tram_vs_direct(benchmark, ia, report):
+    """Footnote 1: the application-aware direct aggregation vs a TRAM-like
+    topological scheme.  TRAM needs far fewer buffers (≈2·sqrt(P) per PE
+    instead of P) and keeps its aggregation ratio at scale, at the price
+    of forwarding hops — at this modest PE count the direct scheme wins
+    on latency while TRAM wins on buffer economy."""
+    from repro.charm.tram import TramChannel
+
+    graph = split_heavy_locations(ia, max_partitions=1024).graph
+    mc = _machine(True)
+
+    def run():
+        out = {}
+        for mode in ("direct", "tram"):
+            m = Machine(mc)
+            sc = Scenario(
+                graph=graph, n_days=N_DAYS, seed=9, initial_infections=10,
+                transmission=TransmissionModel(2e-4),
+            )
+            dist = Distribution.from_partition(
+                round_robin_partition(graph, m.n_pes), m
+            )
+            sim = ParallelEpiSimdemics(sc, mc, dist, aggregation_bytes=8 * 1024)
+            if mode == "tram":
+                # Swap the visit channel for a TRAM channel post-hoc.
+                sim.runtime.aggregators["visits"] = TramChannel(
+                    "visits", m.n_pes, 8 * 1024
+                )
+            res = sim.run()
+            chan = sim.runtime.aggregators["visits"]
+            out[mode] = (
+                res.time_per_day,
+                chan.aggregation_ratio,
+                sum(sim.runtime.msg_counter.values()),
+                res.result.curve,
+            )
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("footnote 1 — direct (application-aware) vs TRAM-like aggregation")
+    report(f"{'scheme':<8} {'t/day (ms)':>11} {'agg ratio':>10} {'wire msgs':>10}")
+    for mode in ("direct", "tram"):
+        t, ratio, msgs, _ = out[mode]
+        report(f"{mode:<8} {t * 1e3:>11.3f} {ratio:>10.2f} {msgs:>10}")
+    # Both deliver the identical epidemic.
+    assert out["direct"][3] == out["tram"][3]
+    # TRAM aggregates at least as well per wire message...
+    assert out["tram"][1] >= 0.8 * out["direct"][1]
+    # ...and stays within a reasonable factor on time at this scale.
+    assert out["tram"][0] < 3.0 * out["direct"][0]
+
+
+def test_ablation_split_threshold_policy(benchmark, ia, report):
+    wl = WorkloadModel()
+
+    def run():
+        rows = []
+        loads = wl.location_weights(ia).astype(float)
+        # Paper rule vs fixed quantiles of the load distribution.
+        policies = {"paper rule": None}
+        for q in (0.999, 0.99, 0.9):
+            policies[f"quantile {q}"] = float(
+                np.quantile(ia.location_visit_counts, q)
+            )
+        for name, threshold in policies.items():
+            if threshold is None:
+                sr = split_heavy_locations(ia, max_partitions=256)
+            else:
+                sr = split_heavy_locations(ia, threshold=max(threshold, 1.0))
+            loads2 = wl.location_weights(sr.graph).astype(float)
+            rows.append(
+                (
+                    name,
+                    sr.n_split,
+                    sr.graph.n_locations / ia.n_locations - 1,
+                    loads2.sum() / loads2.max(),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("splitLoc threshold policy ablation")
+    report(f"{'policy':<15} {'n_split':>8} {'D growth':>9} {'Ltot/lmax':>10}")
+    for name, n_split, growth, cap in rows:
+        report(f"{name:<15} {n_split:>8} {growth:>8.1%} {cap:>10.1f}")
+    report("")
+    report("the paper rule hits a similar ceiling to aggressive quantile")
+    report("splitting while touching far fewer locations")
+    paper_cap = rows[0][3]
+    aggressive = rows[-1]
+    assert paper_cap > 0.3 * aggressive[3]
+    assert rows[0][1] <= aggressive[1]
+
+
+def test_ablation_multi_vs_single_constraint(benchmark, ia, report):
+    k = 32
+
+    def run():
+        multi = partition_bipartite(ia, k)
+        # Single-constraint: collapse the weight matrix to one column.
+        csr = bipartite_to_csr(ia)
+        single_vwgt = csr.vwgt.sum(axis=1, keepdims=True)
+        csr1 = CSRGraph(csr.xadj, csr.adjncy, csr.adjwgt, single_vwgt)
+        part = MultilevelPartitioner().kway(csr1, k)
+        n = ia.n_persons
+        single = BipartitePartition(part[:n].copy(), part[n:].copy(), k, "GP-1con")
+        return multi, single
+
+    multi, single = benchmark.pedantic(run, rounds=1, iterations=1)
+    im_multi = imbalance(partition_loads(ia, multi))
+    im_single = imbalance(partition_loads(ia, single))
+    report("multi-constraint vs single-constraint partitioning (k=32)")
+    report(f"{'constraints':<12} {'person imb':>11} {'location imb':>13} {'worst':>7}")
+    report(f"{'two':<12} {im_multi[0]:>11.2f} {im_multi[1]:>13.2f} {im_multi.max():>7.2f}")
+    report(f"{'one':<12} {im_single[0]:>11.2f} {im_single[1]:>13.2f} {im_single.max():>7.2f}")
+    report("")
+    report("one combined weight can balance totals while starving a phase;")
+    report("two constraints bound the worse phase (paper §III-A)")
+    assert im_multi.max() < im_single.max() * 1.2

@@ -1,0 +1,36 @@
+"""Table I — population data for the seven states (+ scaled US ratios).
+
+Paper: visits / people / locations for populations derived from the
+2009 American Community Survey.  We regenerate the table at bench
+scale and verify the two structural ratios the whole paper rests on:
+visits/person ≈ 5.5 and visits/location ≈ 21.5 (state-dependent).
+"""
+
+from repro.synthpop.states import STATE_PRESETS
+
+
+def test_table1(benchmark, state_graphs, report):
+    def build():
+        rows = {}
+        for state, g in state_graphs.items():
+            rows[state] = g.summary()
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    report("Table I (scaled reproduction)")
+    report(f"{'state':>6} {'visits':>10} {'people':>9} {'locations':>10} "
+           f"{'v/p (paper)':>12} {'v/l (paper)':>12}")
+    for state in ("CA", "NY", "MI", "NC", "IA", "AR", "WY"):
+        s = rows[state]
+        preset = STATE_PRESETS[state]
+        report(
+            f"{state:>6} {s['visits']:>10} {s['people']:>9} {s['locations']:>10} "
+            f"{s['person_degree_mean']:>5.2f} ({preset.visits_per_person:.2f}) "
+            f"{s['location_degree_mean']:>5.1f} ({preset.visits_per_location:.1f})"
+        )
+    for state in ("CA", "NY", "MI", "NC", "IA", "AR", "WY"):
+        s = rows[state]
+        preset = STATE_PRESETS[state]
+        assert abs(s["person_degree_mean"] - preset.visits_per_person) < 0.5
+        assert abs(s["location_degree_mean"] - preset.visits_per_location) / preset.visits_per_location < 0.25

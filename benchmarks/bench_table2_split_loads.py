@@ -1,0 +1,60 @@
+"""Table II — L_tot and max location load before/after graph modification.
+
+Paper (×10³ units): l_max drops from hundreds to ~2 after splitting;
+L_tot/l_max increases by a factor of 89 on average (min 11, max 290)
+across the 49 regions, d_max by 54× on average, while D grows ≤ 5.25%.
+"""
+
+import numpy as np
+
+from repro.loadmodel.workload import WorkloadModel
+from repro.partition.splitloc import split_heavy_locations
+
+
+def test_table2(benchmark, state_graphs, report):
+    wl = WorkloadModel()
+
+    def build():
+        rows = {}
+        for state, g in state_graphs.items():
+            loads = wl.location_weights(g).astype(float)
+            sr = split_heavy_locations(g, max_partitions=98304)
+            loads2 = wl.location_weights(sr.graph).astype(float)
+            rows[state] = {
+                "Ltot": loads.sum(),
+                "lmax": loads.max(),
+                "lmax_after": loads2.max(),
+                "dmax": int(g.location_visit_counts.max()),
+                "dmax_after": int(sr.graph.location_visit_counts.max()),
+                "growth": sr.graph.n_locations / g.n_locations - 1.0,
+            }
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    report("Table II — total and max location load before/after splitLoc")
+    report(f"{'state':>6} {'Ltot':>12} {'lmax':>10} {'lmax_after':>11} "
+           f"{'gain':>7} {'dmax':>7} {'dmax_after':>11} {'D growth':>9}")
+    gains, dmax_red = [], []
+    for state in ("CA", "NY", "MI", "NC", "IA", "AR", "WY"):
+        r = rows[state]
+        gain = (r["Ltot"] / r["lmax_after"]) / (r["Ltot"] / r["lmax"])
+        gains.append(gain)
+        dmax_red.append(r["dmax"] / r["dmax_after"])
+        report(
+            f"{state:>6} {r['Ltot']:>12.3e} {r['lmax']:>10.3e} {r['lmax_after']:>11.3e} "
+            f"{gain:>6.1f}x {r['dmax']:>7} {r['dmax_after']:>11} {r['growth']:>8.1%}"
+        )
+    report("")
+    report(f"Ltot/lmax gain: mean {np.mean(gains):.0f}x (paper: avg 89x, 11-290x)")
+    report(f"dmax reduction: mean {np.mean(dmax_red):.0f}x (paper: avg 54x, 12-341x)")
+    growth = max(r["growth"] for r in rows.values())
+    report(f"max D growth:   {growth:.1%} (paper: <= 5.25%)")
+
+    # Shape assertions: large gains, modest growth.  Scaled graphs give
+    # smaller absolute factors than the paper's full-size data.
+    assert np.mean(gains) > 3.0
+    assert np.mean(dmax_red) > 2.0
+    assert growth < 0.75
+    for r in rows.values():
+        assert r["lmax_after"] < r["lmax"]

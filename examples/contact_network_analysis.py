@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Analyse the implicit person–person contact network (paper §II-A).
+
+EpiSimdemics never materialises the person–person graph — that is the
+design decision that makes the location-centric DES scale.  This
+example materialises it anyway (affordable at analysis scale) to show
+the structure the simulator is implicitly traversing: contact degrees,
+contact-minute distributions, and the bipartite-vs-unipartite size
+blow-up that justifies the paper's representation choice.
+
+Run:  python examples/contact_network_analysis.py
+"""
+
+import numpy as np
+
+from repro.synthpop import state_population
+from repro.synthpop.contact import contact_network
+from repro.util.histogram import log_binned_histogram
+
+
+def main() -> None:
+    graph = state_population("WY", scale=2e-3, seed=4)
+    print(f"population: {graph.summary()}\n")
+
+    net = contact_network(graph)
+    print("person-person contact network (one day):")
+    print(f"  edges                : {net.n_edges:,}")
+    print(f"  vs person-location   : {graph.n_visits:,} visits "
+          f"({net.n_edges / graph.n_visits:.1f}x)")
+    deg = net.degrees()
+    print(f"  mean contact degree  : {deg.mean():.1f}")
+    print(f"  median / max degree  : {np.median(deg):.0f} / {deg.max()}")
+    minutes = net.contact_minutes_per_person()
+    print(f"  mean contact minutes : {minutes.mean():.0f}")
+
+    print("\ncontact-degree distribution (log-binned):")
+    hist = log_binned_histogram(np.maximum(deg, 1))
+    for c, n in zip(hist.centers, hist.counts):
+        if n:
+            print(f"  degree ~{c:7.1f}: {'#' * max(1, int(40 * n / hist.counts.max()))} {n}")
+
+    # Connectivity via networkx — the giant component is what lets a
+    # single index case reach most of the population.
+    g = net.to_networkx()
+    import networkx as nx
+
+    components = sorted((len(c) for c in nx.connected_components(g)), reverse=True)
+    print(f"\nconnected components: {len(components)}; giant component covers "
+          f"{components[0] / graph.n_persons:.0%} of the population")
+    print(
+        "\nWhy EpiSimdemics keeps this graph implicit: materialising it"
+        f"\ncosts {net.n_edges / graph.n_visits:.1f}x the bipartite representation *per day*, and it"
+        "\nchanges daily with schedules and interventions; the bipartite"
+        "\nperson-location graph is the compact, stable object (§II-A)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Course-of-action analysis — the paper's motivating use case.
+
+Section I: during the 2009 H1N1 outbreak, analysts used EpiSimdemics
+"to estimate the impact of closing schools and shutting down
+workplaces" inside a 24-hour decision cycle.  This example reproduces
+that style of study: the same outbreak is simulated under several
+intervention policies (written in the intervention mini-language) and
+the outcomes are compared.
+
+Run:  python examples/course_of_action.py
+"""
+
+from repro.core import Scenario, SequentialSimulator, parse_intervention_script
+from repro.synthpop import state_population
+
+POLICIES = {
+    "baseline": "",
+    "close schools at 1% prevalence": """
+        close_schools prevalence=0.01 duration=28
+    """,
+    "close schools + workplaces": """
+        close_schools prevalence=0.01 duration=28
+        close_work prevalence=0.02 duration=14
+    """,
+    "vaccinate 30% of school children": """
+        vaccinate coverage=0.3 day=0 ages=5-18
+    """,
+    "combined + symptomatic stay home": """
+        vaccinate coverage=0.3 day=0 ages=5-18
+        close_schools prevalence=0.01 duration=28
+        stay_home compliance=0.6
+    """,
+}
+
+
+def main() -> None:
+    graph = state_population("AR", scale=1e-3, seed=2)
+    print(f"population: {graph.summary()}\n")
+    print(f"{'policy':42s} {'attack rate':>12s} {'peak day':>9s} {'peak cases':>11s}")
+
+    for name, script in POLICIES.items():
+        scenario = Scenario(
+            graph=graph,
+            n_days=150,
+            initial_infections=10,
+            seed=99,  # same outbreak under every policy
+            interventions=parse_intervention_script(script),
+        )
+        result = SequentialSimulator(scenario).run()
+        curve = result.curve
+        peak = curve.peak_day
+        print(
+            f"{name:42s} {curve.attack_rate(graph.n_persons):>11.1%} "
+            f"{peak:>9d} {curve.new_infections[peak]:>11d}"
+        )
+
+    print(
+        "\nInterpretation: school closure delays and flattens the peak;"
+        "\nvaccination reduces the attack rate outright; the combined"
+        "\npolicy does both — the trade-off analysts weighed in 2009."
+    )
+
+
+if __name__ == "__main__":
+    main()

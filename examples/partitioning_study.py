@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Data-distribution study: RR vs GP vs splitLoc (paper §III).
+
+Compares the four distribution strategies of Figure 13 on one state:
+load imbalance per computation phase, total and per-partition edge
+cut, and the upper-bound speedup S_ub — the quantities that decide
+strong-scaling behaviour.
+
+Run:  python examples/partitioning_study.py
+"""
+
+import numpy as np
+
+from repro.analysis.speedup import upper_bound_speedup
+from repro.loadmodel.workload import WorkloadModel
+from repro.partition import (
+    edge_cut,
+    imbalance,
+    partition_bipartite,
+    partition_loads,
+    per_partition_edge_cut,
+    round_robin_partition,
+    split_heavy_locations,
+)
+from repro.synthpop import state_population
+
+K = 32  # partitions
+
+
+def describe(name, graph, partition, workload):
+    loads = partition_loads(graph, partition, workload)
+    ratios = imbalance(loads)
+    sub = upper_bound_speedup(loads[:, 1])
+    cut = edge_cut(graph, partition)
+    max_cut = per_partition_edge_cut(graph, partition).max()
+    print(
+        f"{name:14s} {ratios[0]:>10.2f} {ratios[1]:>10.2f} "
+        f"{sub:>8.1f} {cut:>10d} {int(max_cut):>10d}"
+    )
+
+
+def main() -> None:
+    graph = state_population("WY", scale=4e-3, seed=3)
+    workload = WorkloadModel()
+    print(f"population: {graph.summary()}")
+
+    sr = split_heavy_locations(graph, max_partitions=1024)
+    print(
+        f"\nsplitLoc: split {sr.n_split} heavy locations "
+        f"(threshold {sr.threshold:.0f} visits), "
+        f"{graph.n_locations} -> {sr.graph.n_locations} locations "
+        f"(+{100 * (sr.graph.n_locations / graph.n_locations - 1):.1f}%)\n"
+    )
+
+    print(
+        f"{'strategy':14s} {'person imb':>10s} {'loc imb':>10s} "
+        f"{'S_ub':>8s} {'edge cut':>10s} {'max p-cut':>10s}"
+    )
+    describe("RR", graph, round_robin_partition(graph, K), workload)
+    describe("GP", graph, partition_bipartite(graph, K), workload)
+    describe("RR-splitLoc", sr.graph, round_robin_partition(sr.graph, K), workload)
+    describe("GP-splitLoc", sr.graph, partition_bipartite(sr.graph, K), workload)
+
+    print(
+        "\nReading the table: RR balances counts, not loads (high loc"
+        "\nimbalance) and cuts almost every edge.  GP fixes locality but"
+        "\nis still capped by the heaviest location.  splitLoc removes"
+        "\nthat cap; GP-splitLoc gets both balance and locality — the"
+        "\npaper's §III story in one table."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro — reproduction of "Overcoming the Scalability Challenges of
+Epidemic Simulations on Blue Waters" (Yeom et al., IPDPS 2014).
+
+An EpiSimdemics-style agent-based contagion simulator over synthetic
+person–location graphs, together with everything the paper's evaluation
+needs: a Charm++-like message-driven runtime *simulator*, a
+multi-constraint multilevel graph partitioner, the heavy-node splitLoc
+preprocessing, the §III-A workload models, and analysis/benchmark
+harnesses regenerating every table and figure.
+
+Quick start::
+
+    from repro.synthpop import state_population
+    from repro.core import Scenario, SequentialSimulator
+
+    graph = state_population("IA", scale=1e-3, seed=0)
+    result = SequentialSimulator(Scenario(graph=graph, n_days=90)).run()
+    print(result.curve.attack_rate(graph.n_persons))
+
+See README.md for the architecture tour and DESIGN.md for the full
+paper→module mapping.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["analysis", "charm", "core", "loadmodel", "partition", "synthpop", "util", "__version__"]

@@ -1,0 +1,41 @@
+"""Degree and load distributions (Figures 3c/d and 7a/b).
+
+Thin wrappers combining the graph's degree accessors, the static load
+model, and the log-binned histogram utility.  The benches print these
+as the paper plots them: log-log, one series per state, before and
+after splitLoc.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.loadmodel.static import PAPER_STATIC_MODEL, PiecewiseLoadModel
+from repro.synthpop.graph import PersonLocationGraph
+from repro.util.histogram import LogHistogram, log_binned_histogram
+
+__all__ = ["degree_distribution", "load_distribution"]
+
+
+def degree_distribution(
+    graph: PersonLocationGraph, bins_per_decade: int = 10
+) -> LogHistogram:
+    """Location in-degree (unique visitors) histogram — Figure 3(c)/7(a)."""
+    deg = graph.location_in_degrees()
+    return log_binned_histogram(np.maximum(deg, 1), bins_per_decade)
+
+
+def load_distribution(
+    graph: PersonLocationGraph,
+    model: PiecewiseLoadModel = PAPER_STATIC_MODEL,
+    bins_per_decade: int = 10,
+) -> LogHistogram:
+    """Static location load histogram — Figure 3(d)/7(b).
+
+    Loads are in the model's seconds; values are scaled by 1e6 (µs) so
+    bins land in a readable range, matching the paper's relative-load
+    presentation.
+    """
+    events = 2.0 * graph.location_visit_counts.astype(np.float64)
+    loads = np.asarray(model.evaluate(events), dtype=np.float64) * 1e6
+    return log_binned_histogram(loads, bins_per_decade)

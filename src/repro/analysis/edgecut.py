@@ -1,0 +1,62 @@
+"""Per-partition edge-cut analysis (Figure 14).
+
+The paper's Figure 14 plots the *maximum per-partition edge cut* of
+GP-splitLoc partitions against partition count and compares it to the
+"all-remote-communication" baseline — the total edge count divided by
+the number of partitions, i.e. the per-partition communication volume
+if every edge were cut (which is what RR effectively produces).  The
+ratio max-cut / baseline quantifies how much *worse than average* the
+worst partition's communication is (WY: 19×, NY: 2.7×, mean 7.83×
+across the seven states at the largest counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.loadmodel.workload import WorkloadModel
+from repro.partition.metis import MultilevelPartitioner, PartitionerOptions
+from repro.partition.quality import per_partition_edge_cut
+from repro.synthpop.graph import PersonLocationGraph
+
+__all__ = ["EdgeCutPoint", "edge_cut_sweep"]
+
+
+@dataclass(frozen=True)
+class EdgeCutPoint:
+    """One (k, cut) sample of the sweep."""
+
+    k: int
+    max_partition_cut: int
+    all_remote_baseline: float
+
+    @property
+    def ratio(self) -> float:
+        """max cut / all-remote baseline (Figure 14's comparison)."""
+        return self.max_partition_cut / self.all_remote_baseline if self.all_remote_baseline else 0.0
+
+
+def edge_cut_sweep(
+    graph: PersonLocationGraph,
+    ks: list[int],
+    workload: WorkloadModel | None = None,
+    options: PartitionerOptions | None = None,
+) -> list[EdgeCutPoint]:
+    """Max per-partition cut of GP partitions at each k."""
+    total_edges = float(graph.n_visits)
+    partitioner = MultilevelPartitioner(options)
+    out: list[EdgeCutPoint] = []
+    for k in ks:
+        if k < 2:
+            out.append(EdgeCutPoint(k=k, max_partition_cut=0, all_remote_baseline=total_edges))
+            continue
+        bp = partitioner.partition_bipartite(graph, k, workload)
+        cuts = per_partition_edge_cut(graph, bp)
+        out.append(
+            EdgeCutPoint(
+                k=k,
+                max_partition_cut=int(cuts.max()),
+                all_remote_baseline=total_edges / k,
+            )
+        )
+    return out

@@ -1,0 +1,74 @@
+"""Terminal rendering of the paper's figures.
+
+The benches write numeric series; this module renders them as ASCII
+log-log charts so `benchmarks/results/*.txt` and the examples can show
+the *shape* of a figure (the reproduction target) without a plotting
+stack.  One glyph per series; series overlap shows the later glyph.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["AsciiChart", "render_series"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+@dataclass
+class AsciiChart:
+    """A character-grid chart with log or linear axes."""
+
+    width: int = 64
+    height: int = 16
+    logx: bool = True
+    logy: bool = True
+
+    def render(self, series: dict[str, list[tuple[float, float]]]) -> str:
+        points = [(x, y) for pts in series.values() for x, y in pts]
+        if not points:
+            return "(no data)"
+        xs = [p[0] for p in points if not self.logx or p[0] > 0]
+        ys = [p[1] for p in points if not self.logy or p[1] > 0]
+        if not xs or not ys:
+            return "(no positive data for log axes)"
+        fx = math.log10 if self.logx else float
+        fy = math.log10 if self.logy else float
+        x0, x1 = fx(min(xs)), fx(max(xs))
+        y0, y1 = fy(min(ys)), fy(max(ys))
+        x1 = x1 if x1 > x0 else x0 + 1.0
+        y1 = y1 if y1 > y0 else y0 + 1.0
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for (name, pts), glyph in zip(series.items(), _GLYPHS):
+            for x, y in pts:
+                if (self.logx and x <= 0) or (self.logy and y <= 0):
+                    continue
+                col = round((fx(x) - x0) / (x1 - x0) * (self.width - 1))
+                row = round((fy(y) - y0) / (y1 - y0) * (self.height - 1))
+                grid[self.height - 1 - row][col] = glyph
+        ylab_hi = f"{10**y1:.3g}" if self.logy else f"{y1:.3g}"
+        ylab_lo = f"{10**y0:.3g}" if self.logy else f"{y0:.3g}"
+        xlab_lo = f"{10**x0:.3g}" if self.logx else f"{x0:.3g}"
+        xlab_hi = f"{10**x1:.3g}" if self.logx else f"{x1:.3g}"
+        lines = [f"{ylab_hi:>10} +" + "".join(grid[0])]
+        for row in grid[1:-1]:
+            lines.append(" " * 10 + " |" + "".join(row))
+        lines.append(f"{ylab_lo:>10} +" + "".join(grid[-1]))
+        lines.append(" " * 12 + xlab_lo + " " * max(1, self.width - len(xlab_lo) - len(xlab_hi)) + xlab_hi)
+        legend = "   ".join(
+            f"{glyph}={name}" for (name, _), glyph in zip(series.items(), _GLYPHS)
+        )
+        lines.append(" " * 12 + legend)
+        return "\n".join(lines)
+
+
+def render_series(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    logx: bool = True,
+    logy: bool = True,
+) -> str:
+    """One-shot convenience wrapper around :class:`AsciiChart`."""
+    return AsciiChart(width=width, height=height, logx=logx, logy=logy).render(series)

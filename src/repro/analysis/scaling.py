@@ -1,0 +1,283 @@
+"""Phase-cost analytic execution model and strong-scaling harness.
+
+The runtime simulator (``repro.charm``) executes every message and is
+exact but costs real Python time per event — fine up to a few thousand
+PEs, hopeless at the paper's 360K cores.  This module provides the
+complementary *analytic* mode: per-day time assembled from per-partition
+load sums, communication volumes, and protocol costs — the same style
+of reasoning the paper itself uses for Figures 4/5/8, extended with the
+communication terms so it can reproduce Figure 13's crossovers.
+
+Per-day model (one bulk-synchronous iteration, §II-B)::
+
+    T_day = max_p [ C_person(p) + C_send(p) ]        # person phase
+          + T_sync                                    # visit completion
+          + max_p [ C_recv(p) + C_loc(p) + C_inf(p) ] # location phase
+          + T_sync                                    # infect completion
+          + T_collect                                 # stats reduction
+
+with communication charged to the comm thread shared by a process'
+worker PEs (SMP mode) or inline with a penalty (non-SMP), matching
+:class:`repro.charm.network.NetworkModel`.
+
+Validation: ``tests/integration/test_model_vs_runtime.py`` checks the
+analytic prediction against the runtime simulator's virtual time on
+small configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.charm.machine import Machine, MachineConfig
+from repro.charm.messages import ENVELOPE_BYTES, VISIT_BYTES
+from repro.charm.network import NetworkModel
+from repro.core.parallel import ComputeCostModel
+from repro.loadmodel.workload import person_loads
+from repro.partition.quality import BipartitePartition
+from repro.synthpop.graph import PersonLocationGraph
+
+__all__ = [
+    "PhaseCostModel",
+    "DayTimeBreakdown",
+    "ScalingPoint",
+    "machine_for_core_modules",
+    "strong_scaling_curve",
+    "speedup_table",
+]
+
+
+@dataclass(frozen=True)
+class DayTimeBreakdown:
+    """Components of one modelled simulation day (seconds)."""
+
+    person_phase: float
+    location_phase: float
+    comm: float
+    sync: float
+    collect: float
+
+    @property
+    def total(self) -> float:
+        return self.person_phase + self.location_phase + self.comm + self.sync + self.collect
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One sample of a strong-scaling curve."""
+
+    core_modules: int
+    n_pes: int
+    time_per_day: float
+    breakdown: DayTimeBreakdown
+    speedup: float = float("nan")
+    efficiency: float = float("nan")
+
+
+@dataclass
+class PhaseCostModel:
+    """Analytic per-day time estimator.
+
+    Parameters
+    ----------
+    network, costs:
+        The same cost constants the runtime simulator uses.
+    infected_fraction:
+        Assumed average fraction of currently-infectious persons; sets
+        the dynamic location cost and infect-message volume.  The
+        paper's epidemics average a few percent over the run.
+    aggregation_bytes:
+        Visit-channel buffer size (0 = no aggregation).
+    sync_waves:
+        Detection waves per synchronisation (1 for CD, 2–3 for QD).
+    """
+
+    network: NetworkModel = field(default_factory=NetworkModel)
+    costs: ComputeCostModel = field(default_factory=ComputeCostModel)
+    infected_fraction: float = 0.03
+    aggregation_bytes: int = 64 * 1024
+    sync_waves: int = 1
+
+    # ------------------------------------------------------------------
+    def day_time(
+        self,
+        graph: PersonLocationGraph,
+        partition: BipartitePartition,
+        machine: MachineConfig | Machine,
+    ) -> DayTimeBreakdown:
+        """Modelled time of one simulation day under the given mapping.
+
+        ``partition.k`` must equal the machine's compute-PE count; part
+        ids are PE ids.
+        """
+        m = machine if isinstance(machine, Machine) else Machine(machine)
+        k = partition.k
+        if k != m.n_pes:
+            raise ValueError(f"partition k={k} does not match machine PEs={m.n_pes}")
+        net, cc = self.network, self.costs
+
+        # --- compute terms -------------------------------------------------
+        p_loads = person_loads(graph)  # = visit counts per person
+        person_cost = cc.person_health_cost + cc.visit_compute_cost * p_loads
+        person_per_pe = np.bincount(partition.person_part, weights=person_cost, minlength=k)
+
+        events = 2.0 * graph.location_visit_counts.astype(np.float64)
+        loc_static = np.asarray(cc.location_static.evaluate(events), dtype=np.float64)
+        # Dynamic share: expected S×I pairs per location, thinned by the
+        # infected fraction; pairs concentrate in large sublocations.
+        nsub = np.maximum(graph.location_n_sublocs.astype(np.float64), 1.0)
+        visits = graph.location_visit_counts.astype(np.float64)
+        iota = self.infected_fraction
+        est_interactions = iota * (1.0 - iota) * (visits**2) / nsub * 0.5
+        loc_dynamic = np.asarray(
+            cc.location_dynamic.evaluate(events, est_interactions), dtype=np.float64
+        )
+        loc_per_pe = np.bincount(
+            partition.location_part, weights=loc_static + loc_dynamic, minlength=k
+        )
+
+        # --- communication -------------------------------------------------
+        p, l, w = graph.bipartite_adjacency()
+        pp = partition.person_part[p]
+        lp = partition.location_part[l]
+        crossing = pp != lp
+        wx = w[crossing].astype(np.float64)
+        send_bytes = np.bincount(pp[crossing], weights=wx * VISIT_BYTES, minlength=k)
+        recv_bytes = np.bincount(lp[crossing], weights=wx * VISIT_BYTES, minlength=k)
+        # Wire messages after aggregation: one buffer per destination
+        # partition plus overflow flushes.
+        pair_key = pp[crossing].astype(np.int64) * k + lp[crossing]
+        uniq, inv = np.unique(pair_key, return_counts=False, return_inverse=True)
+        pair_bytes = np.bincount(inv, weights=wx * VISIT_BYTES)
+        if self.aggregation_bytes > 0:
+            pair_msgs = np.ceil(pair_bytes / self.aggregation_bytes)
+        else:
+            pair_msgs = np.bincount(inv, weights=wx)  # one message per visit
+        msgs_out = np.bincount((uniq // k).astype(np.int64), weights=pair_msgs, minlength=k)
+        msgs_in = np.bincount((uniq % k).astype(np.int64), weights=pair_msgs, minlength=k)
+        envelope_bytes = (msgs_out + msgs_in) * ENVELOPE_BYTES
+
+        # Infect traffic: crossing infections are a thin stream.
+        n_cross_inf = iota * wx.sum() / max(p_loads.mean(), 1.0)
+        inf_msgs = n_cross_inf / max(k, 1)
+
+        o = net.send_overhead + net.recv_overhead
+        interference = 1.0
+        if m.config.smp:
+            # The comm thread serves all worker PEs of its process.
+            workers = m.pes_per_process
+            per_msg = o * net.comm_thread_efficiency * workers
+            beta = net.beta_inter_node
+        else:
+            per_msg = o * net.no_comm_thread_penalty
+            beta = net.beta_inter_node
+            if m.n_pes > 1:
+                interference = net.non_smp_compute_interference
+        comm_per_pe = (
+            (msgs_out + msgs_in + inf_msgs) * per_msg
+            + (send_bytes + recv_bytes + envelope_bytes) * beta
+        )
+        comm = float(comm_per_pe.max()) + net.alpha_inter_node if k > 1 else 0.0
+
+        # --- protocol terms --------------------------------------------------
+        depth = _tree_depth(m.n_pes) if m.n_pes > 1 else 0
+        hop = net.tree_hop_cost()
+        sync_once = self.sync_waves * 2.0 * depth * hop  # ask-broadcast + reduce
+        sync = 2.0 * sync_once  # two sync points per day
+        collect = 2.0 * depth * hop  # stats reduction + next-day broadcast
+
+        return DayTimeBreakdown(
+            person_phase=float(person_per_pe.max()) * interference,
+            location_phase=float(loc_per_pe.max()) * interference,
+            comm=comm,
+            sync=float(sync),
+            collect=float(collect),
+        )
+
+    # ------------------------------------------------------------------
+    def serial_day_time(self, graph: PersonLocationGraph) -> float:
+        """Single-PE reference time: the same model on a 1-core machine."""
+        bp = BipartitePartition(
+            person_part=np.zeros(graph.n_persons, dtype=np.int64),
+            location_part=np.zeros(graph.n_locations, dtype=np.int64),
+            k=1,
+            method="serial",
+        )
+        return self.day_time(graph, bp, MachineConfig(1, 1, smp=False)).total
+
+
+def _tree_depth(n_pes: int, arity: int = 4) -> int:
+    d, pe = 0, n_pes - 1
+    while pe > 0:
+        pe = (pe - 1) // arity
+        d += 1
+    return d
+
+
+def machine_for_core_modules(
+    core_modules: int,
+    cores_per_node: int = 16,
+    smp_processes: int = 2,
+) -> MachineConfig:
+    """Blue-Waters-style machine for a given core-module count.
+
+    Below one node, a single non-SMP node with that many cores; from
+    one node upward, SMP nodes of ``cores_per_node`` with
+    ``smp_processes`` comm threads each (the paper's configuration).
+    """
+    if core_modules < 1:
+        raise ValueError("need at least one core module")
+    if core_modules < cores_per_node:
+        return MachineConfig(1, core_modules, smp=False)
+    n_nodes = core_modules // cores_per_node
+    return MachineConfig(n_nodes, cores_per_node, smp=True, processes_per_node=smp_processes)
+
+
+def strong_scaling_curve(
+    graph: PersonLocationGraph,
+    partition_provider: Callable[[int], BipartitePartition],
+    core_counts: list[int],
+    model: PhaseCostModel | None = None,
+) -> list[ScalingPoint]:
+    """Evaluate the model over a sweep of core-module counts.
+
+    ``partition_provider(n_pes)`` returns the data distribution for a
+    given compute-PE count (RR, GP, …).  Speedup/efficiency are
+    relative to the serial reference time.
+    """
+    model = model or PhaseCostModel()
+    base = model.serial_day_time(graph)
+    points: list[ScalingPoint] = []
+    for c in core_counts:
+        mc = machine_for_core_modules(c)
+        m = Machine(mc)
+        bp = partition_provider(m.n_pes)
+        bd = model.day_time(graph, bp, m)
+        t = bd.total
+        points.append(
+            ScalingPoint(
+                core_modules=c,
+                n_pes=m.n_pes,
+                time_per_day=t,
+                breakdown=bd,
+                speedup=base / t if t > 0 else float("inf"),
+                efficiency=(base / t) / c if t > 0 else float("inf"),
+            )
+        )
+    return points
+
+
+def speedup_table(points: list[ScalingPoint]) -> str:
+    """Pretty table of a scaling sweep (benches print this)."""
+    lines = [
+        f"{'cores':>9} {'PEs':>9} {'t/day (s)':>12} {'speedup':>10} {'eff':>7}"
+    ]
+    for pt in points:
+        lines.append(
+            f"{pt.core_modules:>9} {pt.n_pes:>9} {pt.time_per_day:>12.5f} "
+            f"{pt.speedup:>10.1f} {pt.efficiency:>6.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Upper-bound speedup analysis (paper §III-B, Figures 4/5/8).
+
+The paper bounds the speedup of the location phase by load sums alone:
+for a K-way partition P with partition loads L_p, the *estimated upper
+bound* is ``S_ub = L_tot / L_max`` — communication and the person phase
+ignored.  ``S_ub`` is itself bounded by ``L_tot / l_max`` where l_max
+is the heaviest single location: one vertex cannot be split by a
+partitioner, which is the whole motivation for splitLoc.
+
+The §III-B analytic form: with a power-law degree distribution of
+exponent β over D locations, ``log(S_ub/D) ≲ log(d_avg) − (1/β)·log D −
+(1/β)·log c`` — scalability *per location* degrades as data grows
+(Figure 5a), and splitLoc restores it (Figure 5b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.loadmodel.workload import WorkloadModel
+from repro.partition.metis import MultilevelPartitioner, PartitionerOptions
+from repro.synthpop.graph import PersonLocationGraph
+from repro.synthpop.powerlaw import powerlaw_normalisation
+
+__all__ = [
+    "upper_bound_speedup",
+    "lpt_location_partition",
+    "speedup_bound_curve",
+    "sub_over_d",
+    "analytic_sub_over_d_bound",
+]
+
+
+def upper_bound_speedup(partition_loads: np.ndarray) -> float:
+    """``S_ub = L_tot / L_max`` over per-partition load sums."""
+    loads = np.asarray(partition_loads, dtype=np.float64)
+    if loads.size == 0:
+        raise ValueError("no partitions")
+    lmax = loads.max()
+    if lmax <= 0:
+        return float(loads.size)
+    return float(loads.sum() / lmax)
+
+
+def lpt_location_partition(location_loads: np.ndarray, k: int) -> np.ndarray:
+    """Longest-processing-time greedy K-way load balancing.
+
+    Ignores edges entirely; used for the very large partition counts of
+    the Figure-4/8 sweeps where running the full multilevel partitioner
+    at every K is wasteful.  LPT is a 4/3-approximation to optimal
+    makespan, so it tracks what a balance-focused partitioner achieves,
+    and it exposes the same ``l_max`` ceiling.
+    """
+    loads = np.asarray(location_loads, dtype=np.float64)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    order = np.argsort(-loads, kind="stable")
+    part = np.empty(loads.size, dtype=np.int64)
+    # Binary heap of (partition load, partition id).
+    import heapq
+
+    heap = [(0.0, p) for p in range(k)]
+    for v in order:
+        load, p = heapq.heappop(heap)
+        part[v] = p
+        heapq.heappush(heap, (load + loads[v], p))
+    return part
+
+
+def speedup_bound_curve(
+    graph: PersonLocationGraph,
+    ks: list[int],
+    method: str = "lpt",
+    workload: WorkloadModel | None = None,
+    partitioner_options: PartitionerOptions | None = None,
+) -> dict[int, float]:
+    """``S_ub`` at each partition count (Figure 4 / Figure 8 series).
+
+    ``method="gp"`` runs the multilevel partitioner at every k (slow but
+    faithful); ``"lpt"`` balances location loads greedily (fast, used
+    for wide sweeps).  Both are capped by ``L_tot / l_max``.
+    """
+    workload = workload or WorkloadModel()
+    loc_loads = workload.location_weights(graph).astype(np.float64)
+    out: dict[int, float] = {}
+    partitioner = MultilevelPartitioner(partitioner_options) if method == "gp" else None
+    for k in ks:
+        if k <= 1:
+            out[k] = 1.0
+            continue
+        if method == "gp":
+            bp = partitioner.partition_bipartite(graph, k, workload)
+            loads = np.bincount(bp.location_part, weights=loc_loads, minlength=k)
+        elif method == "lpt":
+            part = lpt_location_partition(loc_loads, k)
+            loads = np.bincount(part, weights=loc_loads, minlength=k)
+        else:
+            raise ValueError(f"unknown method {method!r}")
+        out[k] = upper_bound_speedup(loads)
+    return out
+
+
+def sub_over_d(
+    graph: PersonLocationGraph,
+    ks: list[int] | None = None,
+    method: str = "lpt",
+    workload: WorkloadModel | None = None,
+) -> float:
+    """``max_K S_ub / D`` — the per-location scalability of Figure 5.
+
+    The maximum over K of S_ub equals ``L_tot / l_max`` (achieved once
+    K is large enough that the heaviest location sits alone), so when
+    ``ks`` is None we evaluate that closed form directly.
+    """
+    workload = workload or WorkloadModel()
+    loc_loads = workload.location_weights(graph).astype(np.float64)
+    d = graph.n_locations
+    if ks is None:
+        return float(loc_loads.sum() / loc_loads.max()) / d
+    best = max(speedup_bound_curve(graph, ks, method, workload).values())
+    return best / d
+
+
+def analytic_sub_over_d_bound(beta: float, d_avg: float, n_locations: int) -> float:
+    """The paper's closed-form bound on ``S_ub / D``.
+
+    ``log(S_ub/D) ≲ log(d_avg) − (1/β)(log D + log c)`` with c the
+    power-law normalisation constant.  Returned in linear scale.
+    """
+    if n_locations < 1:
+        raise ValueError("need at least one location")
+    c = powerlaw_normalisation(beta)
+    log10 = (
+        np.log10(d_avg)
+        - (1.0 / beta) * np.log10(n_locations)
+        - (1.0 / beta) * np.log10(c)
+    )
+    return float(10.0**log10)

@@ -1,0 +1,101 @@
+"""The §III-B analytic machinery, as runnable mathematics.
+
+The paper's scalability argument rests on a few closed forms for a
+power-law degree distribution ``f = D·c·d^(−β)``:
+
+* the normalisation constant ``c`` with ``c·Σ d^(−β) = 1``;
+* the *characteristic maximum degree*: solving ``D·c·(d_max)^(−β) = 1``
+  gives ``d_max ≈ (cD)^(1/β)`` — the degree at which about one vertex
+  is expected;
+* therefore ``log(S_ub/D) ≲ log(d_avg) − (1/β)·(log D + log c)``.
+
+This module packages those forms plus empirical cross-checks used by
+the tests: the generator's realised maximum degree should track the
+``(cD)^(1/β)`` prediction as populations grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.synthpop.graph import PersonLocationGraph
+from repro.synthpop.powerlaw import powerlaw_normalisation
+from repro.util.histogram import fit_powerlaw_exponent
+
+__all__ = ["PowerLawTheory", "characteristic_dmax", "expected_max_degree", "empirical_tail"]
+
+
+def characteristic_dmax(beta: float, n_vertices: int) -> float:
+    """The paper's §III-B approximation: solve ``D·c·d^(−β) = 1``.
+
+    Gives ``d_max = (c·D)^(1/β)`` — the degree whose expected *count*
+    is one.  Note this is the paper's (deliberately conservative)
+    density form; the order-statistics expectation of the realised
+    maximum is :func:`expected_max_degree`, which is much larger for
+    β ≤ 2.5 because the tail above d contains many degrees.
+    """
+    if n_vertices < 1:
+        raise ValueError("need at least one vertex")
+    c = powerlaw_normalisation(beta)
+    return float((c * n_vertices) ** (1.0 / beta))
+
+
+def expected_max_degree(beta: float, n_vertices: int) -> float:
+    """Order-statistics scale of the realised maximum degree.
+
+    The expected number of vertices with degree ≥ x is
+    ``D·c·x^(1−β)/(β−1)``; setting it to 1 gives
+    ``d_max ≈ (c·D/(β−1))^(1/(β−1))`` — the quantity sample maxima
+    actually track (heavy-tailed, so fluctuations span a small
+    multiplicative factor).
+    """
+    if n_vertices < 1:
+        raise ValueError("need at least one vertex")
+    if beta <= 1.0:
+        raise ValueError("beta must exceed 1")
+    c = powerlaw_normalisation(beta)
+    return float((c * n_vertices / (beta - 1.0)) ** (1.0 / (beta - 1.0)))
+
+
+@dataclass(frozen=True)
+class PowerLawTheory:
+    """The paper's power-law scalability model for one graph family."""
+
+    beta: float
+    d_avg: float
+
+    def __post_init__(self) -> None:
+        if self.beta <= 1.0:
+            raise ValueError("beta must exceed 1")
+        if self.d_avg <= 0:
+            raise ValueError("d_avg must be positive")
+
+    def dmax(self, n_vertices: int) -> float:
+        return characteristic_dmax(self.beta, n_vertices)
+
+    def sub_bound(self, n_vertices: int) -> float:
+        """``S_ub ≲ d_avg · D / d_max`` — absolute speedup ceiling."""
+        return self.d_avg * n_vertices / self.dmax(n_vertices)
+
+    def sub_over_d_bound(self, n_vertices: int) -> float:
+        """``S_ub/D`` ceiling; decreasing in D — the Figure-5a law."""
+        return self.sub_bound(n_vertices) / n_vertices
+
+    def doubling_loss(self, n_vertices: int) -> float:
+        """Fractional S_ub/D lost when the data doubles.
+
+        From the closed form this is ``1 − 2^(−1/β)`` independent of D —
+        a clean testable invariant of the model.
+        """
+        big = self.sub_over_d_bound(2 * n_vertices)
+        small = self.sub_over_d_bound(n_vertices)
+        return 1.0 - big / small
+
+
+def empirical_tail(graph: PersonLocationGraph, d_min: int = 3) -> PowerLawTheory:
+    """Fit the theory's parameters from a graph's location in-degrees."""
+    deg = graph.location_in_degrees().astype(np.float64)
+    beta = fit_powerlaw_exponent(deg[deg >= d_min], xmin=float(d_min))
+    return PowerLawTheory(beta=beta, d_avg=float(deg.mean()))

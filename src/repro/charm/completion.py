@@ -1,0 +1,194 @@
+"""Completion detection and quiescence detection (paper §IV-B).
+
+After the person phase, locations must not start computing before every
+visit message has arrived — but receivers do not know how many messages
+to expect, so a plain barrier is insufficient.  Charm++ offers two
+mechanisms:
+
+* **Quiescence detection (QD)** — detects that *no* message is in
+  flight anywhere in the application.  Global by construction, and the
+  standard algorithm needs two consecutive *clean* waves (counts equal
+  and unchanged) to rule out in-flight messages crossing a wave.
+* **Completion detection (CD)** — scoped to a known set of producers
+  and consumers: completion holds when all producers have announced
+  done and globally produced == consumed.  One clean wave suffices,
+  because counting produced-at-send / consumed-at-receive means
+  "equal ⇒ nothing in flight".
+
+Both are implemented here as *real wave protocols* over the runtime's
+PE tree: a wave is a broadcast ("report your counters") followed by a
+reduction of ``(produced, consumed, producers_done)`` triples; every
+hop is a simulated message paying tree-hop costs.  The QD/CD difference
+the paper exploits — fewer waves, module-local scope — shows up
+directly in virtual time (see ``benchmarks/bench_sec4_ablations.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.charm.chare import Chare
+from repro.charm.messages import CONTROL_BYTES
+from repro.charm.scheduler import LOCAL_OP_OVERHEAD, RuntimeSimulator
+
+__all__ = ["SyncProtocol", "CompletionDetector", "QuiescenceDetector"]
+
+
+def _add3(a: tuple, b: tuple) -> tuple:
+    return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+
+class _DetectorHost(Chare):
+    """Root-side wave driver for one detector (lives on PE 0)."""
+
+    def __init__(self, detector: "SyncProtocol"):
+        self.detector = detector
+
+    def start(self, _payload: Any = None) -> None:
+        self.charge(LOCAL_OP_OVERHEAD)
+        self.detector._launch_wave(self)
+
+    def on_wave(self, totals: tuple) -> None:
+        self.charge(LOCAL_OP_OVERHEAD)
+        self.detector._wave_result(self, totals)
+
+
+class SyncProtocol:
+    """Shared machinery of CD/QD wave protocols.
+
+    Parameters
+    ----------
+    runtime:
+        The runtime to attach to (PE agents are created if needed).
+    name:
+        Unique detector name; also keys the produce/consume counters.
+    required_clean_waves:
+        Consecutive clean waves needed to declare completion (1 for CD,
+        2 for QD).
+    """
+
+    def __init__(self, runtime: RuntimeSimulator, name: str, required_clean_waves: int):
+        self.runtime = runtime
+        self.name = name
+        self.required_clean_waves = required_clean_waves
+        n = runtime.machine.n_pes
+        self.produced = np.zeros(n, dtype=np.int64)
+        self.consumed = np.zeros(n, dtype=np.int64)
+        self.done_flag = np.zeros(n, dtype=np.int64)
+        self.n_producers = 0
+        self.target: tuple[str, int, str] | None = None
+        self._clean_streak = 0
+        self._last_totals: tuple | None = None
+        self.waves_run = 0
+        self.completions = 0
+        runtime.ensure_pe_agents()
+        if name in runtime._detectors:
+            raise ValueError(f"detector {name!r} already exists")
+        runtime._detectors[name] = self
+        host_name = f"__sync_host_{name}"
+        runtime.create_array(host_name, lambda i: _DetectorHost(self), np.zeros(1, dtype=np.int64))
+        self._host_array = host_name
+        runtime.register_reduction(
+            f"__sync_{name}",
+            combine=_add3,
+            arrays=["__pe__"],
+            target=(host_name, 0, "on_wave"),
+        )
+
+    # -- application-facing API -----------------------------------------
+    def begin_phase(self, n_producers: int, target: tuple[str, int, str]) -> None:
+        """Arm the detector for a phase with a known producer count.
+
+        ``target`` is the chare entry notified on completion.
+        """
+        self.produced[:] = 0
+        self.consumed[:] = 0
+        self.done_flag[:] = 0
+        self.n_producers = n_producers
+        self.target = target
+        self._clean_streak = 0
+        self._last_totals = None
+
+    def produce(self, n: int = 1) -> None:
+        """Count ``n`` messages produced (call inside an entry method)."""
+        self.produced[self.runtime._exec_pe] += n
+
+    def consume(self, n: int = 1) -> None:
+        """Count ``n`` messages consumed (call inside an entry method)."""
+        self.consumed[self.runtime._exec_pe] += n
+
+    def producer_done(self) -> None:
+        """A producer chare announces it finished sending; the last one
+        triggers the first detection wave."""
+        pe = self.runtime._exec_pe
+        self.done_flag[pe] += 1
+        if int(self.done_flag.sum()) == self.n_producers:
+            # Kick the host: a real message to PE 0 starts the waves.
+            _current_chare_send(self.runtime, self._host_array, "start")
+
+    # -- wave protocol ----------------------------------------------------
+    def local_counts(self, pe: int) -> tuple:
+        return (int(self.produced[pe]), int(self.consumed[pe]), int(self.done_flag[pe]))
+
+    def _launch_wave(self, host: _DetectorHost) -> None:
+        self.waves_run += 1
+        host.runtime.broadcast("__pe__", "sync_ask", self.name, CONTROL_BYTES)
+
+    def _wave_result(self, host: _DetectorHost, totals: tuple) -> None:
+        produced, consumed, done = totals
+        clean = done >= self.n_producers and produced == consumed
+        if clean and (self.required_clean_waves == 1 or totals == self._last_totals):
+            self._clean_streak += 1
+        elif clean:
+            self._clean_streak = 1
+        else:
+            self._clean_streak = 0
+        self._last_totals = totals
+        if self._clean_streak >= self.required_clean_waves:
+            self.completions += 1
+            if self.target is None:
+                raise RuntimeError(f"detector {self.name!r} completed without a target")
+            array, index, method = self.target
+            host.send(array, index, method, None, CONTROL_BYTES)
+        else:
+            self._launch_wave(host)
+
+
+def _current_chare_send(runtime: RuntimeSimulator, host_array: str, method: str) -> None:
+    """Send to the detector host from within the current entry execution."""
+    runtime._send_from_entry(runtime._exec_pe, host_array, 0, method, None, CONTROL_BYTES)
+
+
+class CompletionDetector(SyncProtocol):
+    """Module-scoped completion detection: one clean wave suffices."""
+
+    def __init__(self, runtime: RuntimeSimulator, name: str):
+        super().__init__(runtime, name, required_clean_waves=1)
+
+
+class QuiescenceDetector(SyncProtocol):
+    """Application-global quiescence: two consecutive identical clean waves.
+
+    QD cannot be scoped to a module — that is the paper's motivation
+    for CD (§IV-B): quiescence means *no message anywhere in the
+    application*.  Accordingly this detector's waves observe the
+    produced/consumed counters of **every** detector on the runtime,
+    not just its own: when several simulations share the machine (the
+    paper's planned replicated-ensemble mode, :class:`ParallelEnsemble`),
+    one replica's quiescence wave stays dirty while any other replica
+    has traffic in flight, coupling their progress.  It also needs two
+    consecutive identical clean waves, the standard guard against
+    messages crossing a wave.
+    """
+
+    def __init__(self, runtime: RuntimeSimulator, name: str = "qd"):
+        super().__init__(runtime, name, required_clean_waves=2)
+
+    def local_counts(self, pe: int) -> tuple:
+        produced = consumed = 0
+        for det in self.runtime._detectors.values():
+            produced += int(det.produced[pe])
+            consumed += int(det.consumed[pe])
+        return (produced, consumed, int(self.done_flag[pe]))

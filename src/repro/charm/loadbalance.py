@@ -1,0 +1,114 @@
+"""Measurement-based and predictive load balancing (paper §VII).
+
+The paper's future-work section: the Charm++ LB framework rebalances
+chares using *measured* costs under the principle of persistence — but
+EpiSimdemics' dynamic load (interaction counts follow the epidemic
+wave) breaks persistence, so the authors propose driving LB with
+*application-specific prediction* instead.  This module implements
+both, against the runtime simulator's per-chare cost tracking:
+
+* :func:`greedy_lb` — Charm++ GreedyLB: globally re-place all chares by
+  LPT on their (measured or predicted) costs;
+* :func:`refine_lb` — Charm++ RefineLB: move chares off overloaded PEs
+  only, minimising migration volume;
+* :class:`MigrationCostModel` — the virtual-time price of a migration
+  step (barrier + state transfer).
+
+`repro.core.parallel.ParallelEpiSimdemics` wires these in via its
+``lb_period`` / ``lb_strategy`` options; the ablation bench
+``bench_sec7_load_balancing`` measures the payoff.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.charm.machine import Machine
+from repro.charm.network import NetworkModel
+
+__all__ = ["greedy_lb", "refine_lb", "MigrationCostModel"]
+
+
+def greedy_lb(costs: np.ndarray, n_pes: int) -> np.ndarray:
+    """GreedyLB: LPT assignment of all chares by descending cost.
+
+    Ignores current placement entirely — best balance, most migration.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    if n_pes < 1:
+        raise ValueError("need at least one PE")
+    placement = np.empty(costs.size, dtype=np.int64)
+    heap = [(0.0, pe) for pe in range(n_pes)]
+    for c in np.argsort(-costs, kind="stable"):
+        load, pe = heapq.heappop(heap)
+        placement[c] = pe
+        heapq.heappush(heap, (load + costs[c], pe))
+    return placement
+
+
+def refine_lb(
+    costs: np.ndarray,
+    placement: np.ndarray,
+    n_pes: int,
+    tolerance: float = 1.05,
+) -> np.ndarray:
+    """RefineLB: move chares off PEs above ``tolerance``×average only.
+
+    Keeps most chares where they are (cheap migration); each overloaded
+    PE sheds its smallest chares to the currently least-loaded PE until
+    it fits.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    placement = np.asarray(placement, dtype=np.int64).copy()
+    if costs.shape != placement.shape:
+        raise ValueError("costs and placement must align")
+    pe_load = np.bincount(placement, weights=costs, minlength=n_pes)
+    target = costs.sum() / n_pes * tolerance
+    for pe in np.argsort(-pe_load):
+        if pe_load[pe] <= target:
+            break
+        mine = np.flatnonzero(placement == pe)
+        # Shed smallest-first: keeps the big (expensive-to-move, likely
+        # persistent) chares in place.
+        for c in mine[np.argsort(costs[mine], kind="stable")]:
+            if pe_load[pe] <= target:
+                break
+            dst = int(np.argmin(pe_load))
+            if dst == pe or pe_load[dst] + costs[c] > target:
+                continue
+            placement[c] = dst
+            pe_load[pe] -= costs[c]
+            pe_load[dst] += costs[c]
+    return placement
+
+
+@dataclass(frozen=True)
+class MigrationCostModel:
+    """Virtual-time price of one LB step.
+
+    An LB step is bulk-synchronous: measure/decide (small), then
+    migrate chare state.  We charge a global delay of the decision cost
+    plus the worst per-PE inbound transfer volume over the network.
+    """
+
+    #: serialised state per migrated chare (bytes) — person/location
+    #: records plus runtime bookkeeping.
+    bytes_per_chare: float = 64 * 1024
+    #: fixed per-step cost (the LB barrier + strategy execution).
+    decision_cost: float = 5.0e-4
+
+    def step_cost(
+        self, machine: Machine, network: NetworkModel, old: np.ndarray, new: np.ndarray
+    ) -> float:
+        moved = np.flatnonzero(np.asarray(old) != np.asarray(new))
+        if moved.size == 0:
+            return self.decision_cost
+        inbound = np.bincount(np.asarray(new)[moved], minlength=machine.n_pes)
+        worst = float(inbound.max())
+        transfer = worst * (
+            network.alpha_inter_node + self.bytes_per_chare * network.beta_inter_node
+        )
+        return self.decision_cost + transfer

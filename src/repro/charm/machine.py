@@ -1,0 +1,133 @@
+"""Machine model: nodes, core-modules, SMP process layout.
+
+Blue Waters' Cray XE6 compute nodes carry two AMD Interlagos sockets =
+16 *core-modules* per node (each module pairs two integer cores; the
+paper counts core-modules, scaling to 360,448 = 22,528 nodes × 16).
+
+Charm++'s SMP mode (paper §IV-A) starts ``k`` OS processes per node
+instead of one per core; each process dedicates one core to a
+communication thread and runs compute threads on the rest.  The
+trade-off the paper describes falls out of this model directly:
+
+* SMP **loses** ``k`` compute cores per node to comm threads, but
+* intra-process sends become shared-memory copies,
+* per-message network overhead moves off the compute critical path
+  onto the comm thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineConfig", "Machine", "BLUE_WATERS_NODE"]
+
+#: Core-modules per Blue Waters XE6 node.
+BLUE_WATERS_NODE = 16
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Shape of the simulated machine.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of compute nodes.
+    cores_per_node:
+        Core-modules per node (16 on Blue Waters).
+    smp:
+        Enable Charm++ SMP mode.
+    processes_per_node:
+        ``k`` in the paper's description; must divide ``cores_per_node``
+        and satisfy ``k < cores_per_node``.  Ignored when ``smp`` is
+        False (then every core is its own process).
+    """
+
+    n_nodes: int = 1
+    cores_per_node: int = BLUE_WATERS_NODE
+    smp: bool = True
+    processes_per_node: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1 or self.cores_per_node < 1:
+            raise ValueError("machine must have at least one node and core")
+        if self.smp:
+            k = self.processes_per_node
+            if k < 1 or k >= self.cores_per_node:
+                raise ValueError("need 1 <= processes_per_node < cores_per_node")
+            if self.cores_per_node % k != 0:
+                raise ValueError("processes_per_node must divide cores_per_node")
+
+    @property
+    def total_cores(self) -> int:
+        """Total core-modules — the paper's x-axis unit."""
+        return self.n_nodes * self.cores_per_node
+
+    @property
+    def compute_pes_per_node(self) -> int:
+        """Worker (compute) threads per node."""
+        if self.smp:
+            return self.cores_per_node - self.processes_per_node
+        return self.cores_per_node
+
+    @property
+    def n_pes(self) -> int:
+        """Total compute PEs (where chares run)."""
+        return self.n_nodes * self.compute_pes_per_node
+
+    @property
+    def cores_per_process(self) -> int:
+        if self.smp:
+            return self.cores_per_node // self.processes_per_node
+        return 1
+
+
+class Machine:
+    """Resolved PE topology: pe ↔ (node, process) maps.
+
+    PEs are numbered node-major, then process-major, then thread.  Comm
+    threads are *not* PEs; they are modelled as one serial resource per
+    process (see :class:`repro.charm.scheduler.RuntimeSimulator`).
+    """
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        c = config
+        self.n_pes = c.n_pes
+        self.n_processes = (
+            c.n_nodes * c.processes_per_node if c.smp else c.n_nodes * c.cores_per_node
+        )
+        pes_per_proc = self.pes_per_process
+        self._pe_process = [pe // pes_per_proc for pe in range(self.n_pes)]
+        procs_per_node = c.processes_per_node if c.smp else c.cores_per_node
+        self._process_node = [p // procs_per_node for p in range(self.n_processes)]
+
+    @property
+    def pes_per_process(self) -> int:
+        """Compute threads per OS process."""
+        c = self.config
+        if c.smp:
+            return c.cores_per_process - 1
+        return 1
+
+    def process_of(self, pe: int) -> int:
+        return self._pe_process[pe]
+
+    def node_of(self, pe: int) -> int:
+        return self._process_node[self._pe_process[pe]]
+
+    def node_of_process(self, proc: int) -> int:
+        return self._process_node[proc]
+
+    def same_process(self, pe_a: int, pe_b: int) -> bool:
+        return self._pe_process[pe_a] == self._pe_process[pe_b]
+
+    def same_node(self, pe_a: int, pe_b: int) -> bool:
+        return self.node_of(pe_a) == self.node_of(pe_b)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        c = self.config
+        return (
+            f"Machine(nodes={c.n_nodes}, cores/node={c.cores_per_node}, "
+            f"smp={c.smp}, pes={self.n_pes})"
+        )

@@ -1,0 +1,108 @@
+"""Memory-footprint model (paper §IV-A, benefit iii).
+
+"Sharing of read-only data across all threads reduces memory
+consumption": in non-SMP mode every core runs its own OS process and
+holds a private copy of the read-only simulation data (the graph,
+disease model, intervention tables); in SMP mode one copy per *process*
+serves all of its worker threads.  On a 16-core node with 2 processes
+that is an 8× reduction of the read-only footprint — the difference
+between fitting a state in node memory or not, which the paper calls
+out as one of SMP mode's three benefits.
+
+This module estimates per-node memory for a scenario under a machine
+configuration; ``bench_sec4_ablations`` reports it next to the SMP
+timing ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.charm.machine import MachineConfig
+from repro.synthpop.graph import PersonLocationGraph
+
+__all__ = ["MemoryModel", "MemoryReport"]
+
+#: Packed bytes per visit record in the in-memory graph (ids, times,
+#: sublocation, type), matching the optimised layout of §IV.
+VISIT_STATE_BYTES = 20
+PERSON_STATE_BYTES = 24  # health state, dwell, treatment, home, age
+LOCATION_STATE_BYTES = 16  # sublocation table entry + type + bookkeeping
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Estimated per-node memory (bytes)."""
+
+    read_only_per_copy: int
+    copies_per_node: int
+    mutable_per_node: int
+
+    @property
+    def read_only_per_node(self) -> int:
+        return self.read_only_per_copy * self.copies_per_node
+
+    @property
+    def total_per_node(self) -> int:
+        return self.read_only_per_node + self.mutable_per_node
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.total_per_node / 2**20:.1f} MiB/node "
+            f"({self.copies_per_node} read-only copies of "
+            f"{self.read_only_per_copy / 2**20:.1f} MiB)"
+        )
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Estimates scenario memory under a machine configuration."""
+
+    visit_bytes: int = VISIT_STATE_BYTES
+    person_bytes: int = PERSON_STATE_BYTES
+    location_bytes: int = LOCATION_STATE_BYTES
+    #: runtime overhead per chare (queues, tables)
+    chare_overhead: int = 4096
+
+    def read_only_bytes(self, graph: PersonLocationGraph) -> int:
+        """One copy of the immutable simulation data."""
+        return (
+            graph.n_visits * self.visit_bytes
+            + graph.n_persons * 8  # schedule index
+            + graph.n_locations * self.location_bytes
+        )
+
+    def mutable_bytes(self, graph: PersonLocationGraph, n_chares: int) -> int:
+        """Writable per-entity state plus chare bookkeeping."""
+        return (
+            graph.n_persons * self.person_bytes
+            + graph.n_locations * 8
+            + n_chares * self.chare_overhead
+        )
+
+    def per_node(
+        self,
+        graph: PersonLocationGraph,
+        machine: MachineConfig,
+        n_chares: int | None = None,
+    ) -> MemoryReport:
+        """Per-node footprint; data assumed evenly spread across nodes.
+
+        ``copies_per_node`` is the §IV-A effect: processes per node in
+        SMP mode, cores per node otherwise.
+        """
+        if n_chares is None:
+            n_chares = machine.n_pes * 2
+        copies = (
+            machine.processes_per_node if machine.smp else machine.cores_per_node
+        )
+        nodes = machine.n_nodes
+        # Read-only data is partitioned across nodes but each process on
+        # a node maps its node-share privately.
+        per_copy = self.read_only_bytes(graph) // nodes
+        mutable = self.mutable_bytes(graph, n_chares) // nodes
+        return MemoryReport(
+            read_only_per_copy=per_copy,
+            copies_per_node=copies,
+            mutable_per_node=mutable,
+        )

@@ -1,0 +1,118 @@
+"""Spanning-tree reductions and broadcasts over PEs.
+
+Charm++ implements global collectives (reductions, broadcasts, the
+waves of completion/quiescence detection) over a spanning tree of PEs.
+This module provides the tree topology and the per-round bookkeeping;
+the actual tree messages are real simulated messages sent by the
+runtime's per-PE agents, so collective costs scale as O(log P) virtual
+time and O(P) messages — exactly the behaviour whose constant factors
+the paper's §IV-B optimises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["ReductionTree", "ReductionSpec", "ReductionRound"]
+
+
+class ReductionTree:
+    """A k-ary spanning tree over PEs rooted at PE 0.
+
+    Charm++ uses a branching factor of 4 by default for collectives on
+    large machines; depth is ``ceil(log_k P)``.
+    """
+
+    def __init__(self, n_pes: int, arity: int = 4):
+        if n_pes < 1:
+            raise ValueError("need at least one PE")
+        if arity < 2:
+            raise ValueError("tree arity must be >= 2")
+        self.n_pes = n_pes
+        self.arity = arity
+
+    def parent(self, pe: int) -> int | None:
+        if pe == 0:
+            return None
+        return (pe - 1) // self.arity
+
+    def children(self, pe: int) -> list[int]:
+        lo = pe * self.arity + 1
+        return [c for c in range(lo, min(lo + self.arity, self.n_pes))]
+
+    def depth(self) -> int:
+        """Longest root-to-leaf path length."""
+        d, pe = 0, self.n_pes - 1
+        while pe > 0:
+            pe = (pe - 1) // self.arity
+            d += 1
+        return d
+
+
+@dataclass
+class ReductionSpec:
+    """A named, reusable reduction.
+
+    Parameters
+    ----------
+    name:
+        Identifier used by :meth:`Chare.contribute`.
+    combine:
+        Associative binary combiner applied to contributed values.
+    expected_local:
+        Per-PE count of element contributions expected each round.
+    target:
+        ``(array, index, method)`` that receives the reduced value.
+    n_children:
+        Per-PE count of *participating* children in the pruned tree —
+        PEs holding no participating elements and no participating
+        descendants are excluded, so rounds complete without them.
+    """
+
+    name: str
+    combine: Callable[[Any, Any], Any]
+    expected_local: dict[int, int]
+    target: tuple[str, int, str]
+    n_children: dict[int, int]
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        combine: Callable[[Any, Any], Any],
+        expected_local: dict[int, int],
+        target: tuple[str, int, str],
+        tree: ReductionTree,
+    ) -> "ReductionSpec":
+        """Construct with the tree pruned to participating PEs."""
+        n = tree.n_pes
+        participates = [expected_local.get(pe, 0) > 0 for pe in range(n)]
+        # Children have larger ids than parents, so a reverse sweep
+        # propagates participation upward.
+        for pe in range(n - 1, 0, -1):
+            if participates[pe]:
+                participates[tree.parent(pe)] = True
+        n_children = {
+            pe: sum(1 for c in tree.children(pe) if participates[c])
+            for pe in range(n)
+            if participates[pe]
+        }
+        return cls(name, combine, expected_local, target, n_children)
+
+
+@dataclass
+class ReductionRound:
+    """Transient per-PE state of one in-flight reduction round."""
+
+    received_elements: int = 0
+    received_children: int = 0
+    partial: Any = None
+    has_partial: bool = False
+
+    def add(self, combine: Callable[[Any, Any], Any], value: Any) -> None:
+        if not self.has_partial:
+            self.partial = value
+            self.has_partial = True
+        else:
+            self.partial = combine(self.partial, value)

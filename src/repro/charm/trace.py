@@ -1,0 +1,144 @@
+"""Projections-style execution tracing for the runtime simulator.
+
+Charm++ ships with *Projections*, the tracing/visualisation tool the
+EpiSimdemics team used to find the bottlenecks §IV fixes.  This module
+provides the equivalent for our simulated runtime: attach a
+:class:`Tracer` before ``run()`` and get per-entry events, per-PE
+utilisation, a method-level profile and a text timeline — the views a
+performance engineer needs to see *why* a configuration is slow
+(straggling PE, comm-thread saturation, sync gaps).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.charm.scheduler import RuntimeSimulator
+
+__all__ = ["TraceEvent", "Tracer", "attach_tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One entry-method execution."""
+
+    pe: int
+    start: float
+    end: float
+    array: str
+    method: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Tracer:
+    """Collects :class:`TraceEvent` records from a runtime."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    _n_pes: int = 0
+
+    # ------------------------------------------------------------------
+    def record(self, pe: int, start: float, end: float, array: str, method: str) -> None:
+        self.events.append(TraceEvent(pe, start, end, array, method))
+
+    @property
+    def span(self) -> float:
+        """Traced makespan (first start to last end)."""
+        if not self.events:
+            return 0.0
+        return max(e.end for e in self.events) - min(e.start for e in self.events)
+
+    # ------------------------------------------------------------------
+    def utilization(self) -> np.ndarray:
+        """Busy fraction per PE over the traced span."""
+        if not self.events:
+            return np.zeros(self._n_pes)
+        busy = np.zeros(self._n_pes)
+        for e in self.events:
+            busy[e.pe] += e.duration
+        span = self.span
+        return busy / span if span > 0 else busy
+
+    def method_profile(self) -> dict[tuple[str, str], tuple[int, float]]:
+        """``(array, method) -> (call count, total virtual time)``."""
+        out: dict[tuple[str, str], list] = defaultdict(lambda: [0, 0.0])
+        for e in self.events:
+            rec = out[(e.array, e.method)]
+            rec[0] += 1
+            rec[1] += e.duration
+        return {k: (v[0], v[1]) for k, v in out.items()}
+
+    def critical_pe(self) -> int:
+        """The PE with the most busy time — the straggler to look at."""
+        if not self.events:
+            raise ValueError("empty trace")
+        busy = np.zeros(self._n_pes)
+        for e in self.events:
+            busy[e.pe] += e.duration
+        return int(np.argmax(busy))
+
+    # ------------------------------------------------------------------
+    def timeline(self, width: int = 72, pes: list[int] | None = None) -> str:
+        """ASCII utilisation timeline, one row per PE.
+
+        Each column is a time bucket; the glyph encodes busy fraction
+        (`` `` <25%, ``-`` <50%, ``+`` <75%, ``#`` ≥75%).
+        """
+        if not self.events:
+            return "(empty trace)"
+        t0 = min(e.start for e in self.events)
+        t1 = max(e.end for e in self.events)
+        if t1 <= t0:
+            return "(zero-length trace)"
+        pes = pes if pes is not None else list(range(self._n_pes))
+        bucket = (t1 - t0) / width
+        rows = []
+        for pe in pes:
+            busy = np.zeros(width)
+            for e in self.events:
+                if e.pe != pe:
+                    continue
+                b0 = int((e.start - t0) / bucket)
+                b1 = min(int((e.end - t0) / bucket), width - 1)
+                for b in range(b0, b1 + 1):
+                    lo = t0 + b * bucket
+                    hi = lo + bucket
+                    busy[b] += max(0.0, min(e.end, hi) - max(e.start, lo))
+            frac = busy / bucket
+            glyphs = "".join(
+                "#" if f >= 0.75 else "+" if f >= 0.5 else "-" if f >= 0.25 else " "
+                for f in frac
+            )
+            rows.append(f"pe{pe:>4} |{glyphs}|")
+        return "\n".join(rows)
+
+    def profile_table(self, top: int = 12) -> str:
+        """Formatted method profile, heaviest first."""
+        prof = sorted(
+            self.method_profile().items(), key=lambda kv: -kv[1][1]
+        )[:top]
+        lines = [f"{'array.method':<36} {'calls':>8} {'time (ms)':>10}"]
+        for (array, method), (calls, total) in prof:
+            lines.append(f"{array + '.' + method:<36} {calls:>8} {total * 1e3:>10.3f}")
+        return "\n".join(lines)
+
+
+def attach_tracer(runtime: RuntimeSimulator) -> Tracer:
+    """Instrument a runtime; returns the tracer (call before ``run``)."""
+    tracer = Tracer(_n_pes=runtime.machine.n_pes)
+    original = runtime._execute
+
+    def traced_execute(t, msg, dst_cpu):
+        pe = runtime.arrays[msg.array].pe_of(msg.index)
+        start = max(t, float(runtime.pe_clock[pe]))
+        original(t, msg, dst_cpu)
+        tracer.record(pe, start, float(runtime.pe_clock[pe]), msg.array, msg.method)
+
+    runtime._execute = traced_execute
+    return tracer

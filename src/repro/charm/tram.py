@@ -1,0 +1,125 @@
+"""TRAM-like topological routing and aggregation.
+
+The paper's footnote 1: "the CHARM++ team is currently working on TRAM
+(Topological Routing and Aggregation Module), which implements an
+application agnostic message aggregation in the runtime — however, this
+module was not available prior to the generation of most of the results
+presented here, and we are not yet able to determine to what degree it
+can replace our application-aware strategy."
+
+We implement the TRAM idea so that comparison can be made (see
+``bench_sec4_ablations.test_ablation_tram_vs_direct``): PEs are
+arranged in a virtual 2-D grid; a record for PE ``(r2, c2)`` from
+``(r1, c1)`` routes along the row to ``(r1, c2)`` and then down the
+column.  Each PE keeps aggregation buffers only toward its ~2·√P grid
+neighbours instead of toward all P peers, so buffers fill — and
+amortise per-message overheads — at much smaller per-destination
+traffic, at the price of an extra hop and per-record forwarding work.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.charm.aggregation import AggregationRecord, _Buffer
+
+__all__ = ["TramRecord", "TramChannel"]
+
+
+@dataclass(frozen=True)
+class TramRecord:
+    """An application record in flight, tagged with its final PE."""
+
+    dst_pe: int
+    inner: AggregationRecord
+
+    @property
+    def payload_bytes(self) -> int:
+        # 4 bytes of routing header on top of the application payload.
+        return self.inner.payload_bytes + 4
+
+
+class TramChannel:
+    """2-D mesh routing with per-neighbour aggregation buffers.
+
+    Parameters
+    ----------
+    name:
+        Channel name.
+    n_pes:
+        Grid size; the virtual mesh is ``rows × cols`` with
+        ``rows = floor(sqrt(P))`` (the last row may be ragged).
+    buffer_bytes:
+        Flush threshold per (PE, neighbour) buffer; 0 disables
+        buffering (records forward immediately, still via the mesh).
+    """
+
+    def __init__(self, name: str, n_pes: int, buffer_bytes: int = 16 * 1024):
+        if n_pes < 1:
+            raise ValueError("need at least one PE")
+        if buffer_bytes < 0:
+            raise ValueError("buffer_bytes must be >= 0")
+        self.name = name
+        self.n_pes = n_pes
+        self.buffer_bytes = buffer_bytes
+        self.cols = max(1, int(math.isqrt(n_pes)))
+        self._buffers: dict[tuple[int, int], _Buffer] = {}
+        self.records_in = 0
+        self.batches_out = 0
+        self.forwards = 0
+
+    # -- mesh geometry ---------------------------------------------------
+    def coords(self, pe: int) -> tuple[int, int]:
+        return pe // self.cols, pe % self.cols
+
+    def next_hop(self, at_pe: int, dst_pe: int) -> int:
+        """Row-first dimension-ordered routing."""
+        r1, c1 = self.coords(at_pe)
+        r2, c2 = self.coords(dst_pe)
+        if c1 != c2:
+            candidate = r1 * self.cols + c2
+            # Ragged last row: if the row-peer doesn't exist, drop to the
+            # column immediately.
+            if candidate < self.n_pes:
+                return candidate
+        return dst_pe
+
+    # -- buffering ---------------------------------------------------------
+    def append(
+        self, at_pe: int, record: TramRecord, count_in: bool = True
+    ) -> tuple[int, list[TramRecord]] | None:
+        """Buffer a record at ``at_pe``; return ``(hop, batch)`` on flush."""
+        if count_in:
+            self.records_in += 1
+        else:
+            self.forwards += 1
+        hop = self.next_hop(at_pe, record.dst_pe)
+        if self.buffer_bytes == 0:
+            self.batches_out += 1
+            return hop, [record]
+        buf = self._buffers.setdefault((at_pe, hop), _Buffer())
+        buf.records.append(record)
+        buf.bytes += record.payload_bytes
+        if buf.bytes >= self.buffer_bytes:
+            self._buffers.pop((at_pe, hop))
+            self.batches_out += 1
+            return hop, buf.records
+        return None
+
+    def flush_pe(self, pe: int) -> list[tuple[int, list[TramRecord]]]:
+        """Drain all of one PE's buffers (phase-end / forwarding flush)."""
+        out = []
+        for key in sorted(k for k in self._buffers if k[0] == pe):
+            buf = self._buffers.pop(key)
+            if buf.records:
+                self.batches_out += 1
+                out.append((key[1], buf.records))
+        return out
+
+    def pending_pes(self) -> set[int]:
+        return {k[0] for k in self._buffers}
+
+    @property
+    def aggregation_ratio(self) -> float:
+        return self.records_in / self.batches_out if self.batches_out else 0.0

@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``   synthesise a population and save it (``.npz``)
+``info``       summarise a saved population
+``simulate``   run the sequential simulator, print the epidemic curve
+``partition``  partition a population and report quality metrics
+``scale``      analytic strong-scaling sweep (Figure-13 style)
+
+Every command is a thin shell over the library API so scripted studies
+can start from the shell and graduate to Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="EpiSimdemics scalability-study reproduction (Yeom et al., IPDPS 2014)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="synthesise a population")
+    g.add_argument("output", help="output .npz path")
+    g.add_argument("--state", default="IA", help="Table-I state code or US")
+    g.add_argument("--scale", type=float, default=1e-3, help="population scale factor")
+    g.add_argument("--persons", type=int, default=None,
+                   help="explicit person count (overrides --state/--scale)")
+    g.add_argument("--seed", type=int, default=0)
+
+    i = sub.add_parser("info", help="summarise a saved population")
+    i.add_argument("population", help=".npz path")
+
+    s = sub.add_parser("simulate", help="run the sequential simulator")
+    s.add_argument("population", help=".npz path")
+    s.add_argument("--days", type=int, default=120)
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--index-cases", type=int, default=10)
+    s.add_argument("--transmissibility", type=float, default=1e-4)
+    s.add_argument("--interventions", default=None,
+                   help="path to an intervention script")
+    s.add_argument("--disease", default=None, help="path to a PTTSL disease model")
+
+    q = sub.add_parser("partition", help="partition a population, report quality")
+    q.add_argument("population", help=".npz path")
+    q.add_argument("-k", type=int, default=32, help="number of partitions")
+    q.add_argument("--method", choices=["rr", "gp"], default="gp")
+    q.add_argument("--split", action="store_true", help="apply splitLoc first")
+    q.add_argument("--max-partitions", type=int, default=4096,
+                   help="splitLoc threshold parameter")
+
+    c = sub.add_parser("scale", help="analytic strong-scaling sweep")
+    c.add_argument("population", help=".npz path")
+    c.add_argument("--cores", type=int, nargs="+",
+                   default=[1, 16, 64, 256, 1024, 4096])
+    c.add_argument("--strategy", choices=["rr", "gp-lpt"], default="gp-lpt")
+    c.add_argument("--split", action="store_true")
+    return p
+
+
+def _cmd_generate(args) -> int:
+    from repro.synthpop import (
+        PopulationConfig,
+        generate_population,
+        save_population,
+        state_population,
+    )
+
+    if args.persons is not None:
+        graph = generate_population(
+            PopulationConfig(n_persons=args.persons), args.seed,
+            name=f"custom-{args.persons}",
+        )
+    else:
+        graph = state_population(args.state, scale=args.scale, seed=args.seed)
+    save_population(graph, args.output)
+    s = graph.summary()
+    print(f"wrote {args.output}: {s['people']:,} people, {s['visits']:,} visits, "
+          f"{s['locations']:,} locations")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro.synthpop import load_population
+
+    graph = load_population(args.population)
+    for k, v in graph.summary().items():
+        print(f"{k:24s} {v}")
+    ind = graph.location_in_degrees()
+    print(f"{'max location in-degree':24s} {int(ind.max())}")
+    print(f"{'max location visits':24s} {int(graph.location_visit_counts.max())}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from pathlib import Path
+
+    from repro.core import (
+        Scenario,
+        SequentialSimulator,
+        TransmissionModel,
+        parse_intervention_script,
+    )
+    from repro.core.pttsl import parse_ptts
+    from repro.synthpop import load_population
+
+    graph = load_population(args.population)
+    kwargs = {}
+    if args.interventions:
+        kwargs["interventions"] = parse_intervention_script(
+            Path(args.interventions).read_text()
+        )
+    if args.disease:
+        kwargs["disease"] = parse_ptts(Path(args.disease).read_text())
+    scenario = Scenario(
+        graph=graph,
+        n_days=args.days,
+        seed=args.seed,
+        initial_infections=args.index_cases,
+        transmission=TransmissionModel(args.transmissibility),
+        **kwargs,
+    )
+    result = SequentialSimulator(scenario).run()
+    curve = result.curve
+    print(f"attack rate : {curve.attack_rate(graph.n_persons):.1%}")
+    print(f"peak day    : {curve.peak_day}")
+    print(f"total cases : {result.total_infections}")
+    print("day,new_infections,prevalence")
+    for d, (n, prev) in enumerate(zip(curve.new_infections, curve.prevalence)):
+        print(f"{d},{n},{prev:.6f}")
+    return 0
+
+
+def _cmd_partition(args) -> int:
+    from repro.analysis.speedup import upper_bound_speedup
+    from repro.partition import (
+        edge_cut,
+        imbalance,
+        partition_bipartite,
+        partition_loads,
+        per_partition_edge_cut,
+        round_robin_partition,
+        split_heavy_locations,
+    )
+    from repro.synthpop import load_population
+
+    graph = load_population(args.population)
+    if args.split:
+        sr = split_heavy_locations(graph, max_partitions=args.max_partitions)
+        print(f"splitLoc: split {sr.n_split} locations "
+              f"({graph.n_locations} -> {sr.graph.n_locations})")
+        graph = sr.graph
+    bp = (
+        round_robin_partition(graph, args.k)
+        if args.method == "rr"
+        else partition_bipartite(graph, args.k)
+    )
+    loads = partition_loads(graph, bp)
+    ratios = imbalance(loads)
+    print(f"method                 {bp.method}")
+    print(f"partitions             {args.k}")
+    print(f"person-phase imbalance {ratios[0]:.3f}")
+    print(f"location imbalance     {ratios[1]:.3f}")
+    print(f"S_ub (location phase)  {upper_bound_speedup(loads[:, 1]):.1f}")
+    print(f"edge cut               {edge_cut(graph, bp)}")
+    print(f"max per-partition cut  {int(per_partition_edge_cut(graph, bp).max())}")
+    return 0
+
+
+def _cmd_scale(args) -> int:
+    from repro.analysis.scaling import PhaseCostModel, speedup_table, strong_scaling_curve
+    from repro.analysis.speedup import lpt_location_partition
+    from repro.loadmodel.workload import WorkloadModel
+    from repro.partition import round_robin_partition, split_heavy_locations
+    from repro.partition.quality import BipartitePartition
+    from repro.synthpop import load_population
+
+    graph = load_population(args.population)
+    if args.split:
+        graph = split_heavy_locations(graph, max_partitions=max(args.cores)).graph
+    if args.strategy == "rr":
+        provider = lambda n: round_robin_partition(graph, n)  # noqa: E731
+    else:
+        loads = WorkloadModel().location_weights(graph).astype(float)
+
+        def provider(n_pes):
+            return BipartitePartition(
+                person_part=np.arange(graph.n_persons, dtype=np.int64) % n_pes,
+                location_part=lpt_location_partition(loads, n_pes),
+                k=n_pes,
+                method="GP~",
+            )
+
+    points = strong_scaling_curve(graph, provider, args.cores, PhaseCostModel())
+    print(speedup_table(points))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "info": _cmd_info,
+    "simulate": _cmd_simulate,
+    "partition": _cmd_partition,
+    "scale": _cmd_scale,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

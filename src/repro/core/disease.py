@@ -1,0 +1,446 @@
+"""Probabilistic Timed Transition System (PTTS) disease models.
+
+Section II-A of the paper: a person's health state is a finite state
+machine where each state carries
+
+* a **dwell-time distribution** — how long the person remains in the
+  state before automatically transitioning,
+* **probabilistic transitions** to successor states, and
+* per-**treatment** transition sets (e.g. vaccinated people move from
+  exposed to an attenuated infectious state more rarely).
+
+States also carry the epidemiological coefficients consumed by the
+transmission function: *infectivity* (how strongly an occupant of this
+state sheds) and *susceptibility* (how easily they acquire).
+
+The implementation is array-oriented: a :class:`DiseaseModel` compiles
+its states into flat NumPy arrays so a whole population's daily update
+is a handful of vectorised operations (see :meth:`DiseaseModel.advance_day`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.rng import RngFactory
+
+__all__ = [
+    "DwellKind",
+    "DwellDistribution",
+    "Transition",
+    "HealthState",
+    "DiseaseModel",
+    "influenza_model",
+    "sir_model",
+    "UNTREATED",
+    "VACCINATED",
+]
+
+#: Treatment set indices.  The paper mentions vaccination as the primary
+#: treatment distinguishing transition sets; more can be registered.
+UNTREATED = 0
+VACCINATED = 1
+
+#: Sentinel dwell meaning "remain until an external trigger" (e.g. the
+#: susceptible state waits for an infect message; recovered is absorbing).
+FOREVER = np.iinfo(np.int32).max
+
+
+class DwellKind(enum.IntEnum):
+    """Supported dwell-time distribution families (in whole days)."""
+
+    FIXED = 0
+    UNIFORM = 1  # inclusive integer range [a, b]
+    GEOMETRIC = 2  # support {1, 2, ...} with success prob p
+    GAMMA = 3  # continuous gamma rounded up to >= 1 day
+    FOREVER = 4
+
+
+@dataclass(frozen=True)
+class DwellDistribution:
+    """Dwell time of a PTTS state, in days.
+
+    Use the class methods (``fixed``, ``uniform``, ...) rather than the
+    raw constructor.
+    """
+
+    kind: DwellKind
+    a: float = 0.0
+    b: float = 0.0
+
+    @classmethod
+    def fixed(cls, days: int) -> "DwellDistribution":
+        if days < 1:
+            raise ValueError("fixed dwell must be >= 1 day")
+        return cls(DwellKind.FIXED, float(days))
+
+    @classmethod
+    def uniform(cls, lo: int, hi: int) -> "DwellDistribution":
+        if not (1 <= lo <= hi):
+            raise ValueError("need 1 <= lo <= hi")
+        return cls(DwellKind.UNIFORM, float(lo), float(hi))
+
+    @classmethod
+    def geometric(cls, p: float) -> "DwellDistribution":
+        if not (0.0 < p <= 1.0):
+            raise ValueError("geometric p must be in (0, 1]")
+        return cls(DwellKind.GEOMETRIC, p)
+
+    @classmethod
+    def gamma(cls, shape: float, scale: float) -> "DwellDistribution":
+        if shape <= 0 or scale <= 0:
+            raise ValueError("gamma parameters must be positive")
+        return cls(DwellKind.GAMMA, shape, scale)
+
+    @classmethod
+    def forever(cls) -> "DwellDistribution":
+        return cls(DwellKind.FOREVER)
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` dwell times (int32 days; FOREVER uses the sentinel)."""
+        if self.kind == DwellKind.FIXED:
+            return np.full(n, int(self.a), dtype=np.int32)
+        if self.kind == DwellKind.UNIFORM:
+            return rng.integers(int(self.a), int(self.b) + 1, size=n, dtype=np.int32)
+        if self.kind == DwellKind.GEOMETRIC:
+            return rng.geometric(self.a, size=n).astype(np.int32)
+        if self.kind == DwellKind.GAMMA:
+            return np.maximum(1, np.ceil(rng.gamma(self.a, self.b, size=n))).astype(np.int32)
+        return np.full(n, FOREVER, dtype=np.int32)
+
+    @property
+    def mean(self) -> float:
+        """Expected dwell in days (inf for FOREVER)."""
+        if self.kind == DwellKind.FIXED:
+            return self.a
+        if self.kind == DwellKind.UNIFORM:
+            return (self.a + self.b) / 2.0
+        if self.kind == DwellKind.GEOMETRIC:
+            return 1.0 / self.a
+        if self.kind == DwellKind.GAMMA:
+            return max(1.0, self.a * self.b)
+        return float("inf")
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A probabilistic edge of the PTTS: go to ``target`` w.p. ``prob``."""
+
+    target: str
+    prob: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.prob <= 1.0):
+            raise ValueError(f"transition probability {self.prob} outside [0, 1]")
+
+
+@dataclass(frozen=True)
+class HealthState:
+    """One PTTS state.
+
+    Parameters
+    ----------
+    name:
+        Unique state label.
+    infectivity:
+        Shedding coefficient used by the transmission function; 0 for
+        non-infectious states.
+    susceptibility:
+        Acquisition coefficient; 0 for non-susceptible states.
+    dwell:
+        Dwell-time distribution.
+    transitions:
+        Mapping ``treatment -> [Transition, ...]``; each list's
+        probabilities must sum to 1 (within fp tolerance).  Treatments
+        not present fall back to :data:`UNTREATED`'s list.  Absorbing
+        states use an empty mapping with a FOREVER dwell.
+    symptomatic:
+        Whether the state is symptomatic — drives the stay-home
+        behaviour intervention.
+    """
+
+    name: str
+    infectivity: float = 0.0
+    susceptibility: float = 0.0
+    dwell: DwellDistribution = field(default_factory=DwellDistribution.forever)
+    transitions: dict[int, tuple[Transition, ...]] = field(default_factory=dict)
+    symptomatic: bool = False
+
+    @property
+    def is_infectious(self) -> bool:
+        return self.infectivity > 0.0
+
+    @property
+    def is_susceptible(self) -> bool:
+        return self.susceptibility > 0.0
+
+
+class DiseaseModel:
+    """A compiled PTTS over a fixed state list.
+
+    Parameters
+    ----------
+    states:
+        The PTTS states; order defines state indices.
+    susceptible:
+        Name of the initial (susceptible) state.
+    infection_entry:
+        Mapping ``treatment -> state name`` entered upon receiving an
+        infect message.  Missing treatments fall back to UNTREATED's
+        entry state.
+    """
+
+    def __init__(
+        self,
+        states: list[HealthState],
+        susceptible: str,
+        infection_entry: dict[int, str],
+    ):
+        if len({s.name for s in states}) != len(states):
+            raise ValueError("duplicate state names")
+        self.states = list(states)
+        self.index = {s.name: i for i, s in enumerate(states)}
+        if susceptible not in self.index:
+            raise ValueError(f"unknown susceptible state {susceptible!r}")
+        if UNTREATED not in infection_entry:
+            raise ValueError("infection_entry must define the UNTREATED entry state")
+        for t, name in infection_entry.items():
+            if name not in self.index:
+                raise ValueError(f"unknown infection entry state {name!r} for treatment {t}")
+        self.susceptible_index = self.index[susceptible]
+        self.infection_entry = dict(infection_entry)
+
+        n = len(states)
+        self.infectivity = np.array([s.infectivity for s in states], dtype=np.float64)
+        self.susceptibility = np.array([s.susceptibility for s in states], dtype=np.float64)
+        self.symptomatic = np.array([s.symptomatic for s in states], dtype=bool)
+        self.is_infectious = self.infectivity > 0
+        self.is_susceptible = self.susceptibility > 0
+
+        # Validate transitions and cache (state, treatment) -> (targets, cumprobs).
+        self._compiled: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+        treatments: set[int] = {UNTREATED}
+        for s in states:
+            treatments.update(s.transitions.keys())
+        self.treatments = sorted(treatments)
+        for i, s in enumerate(states):
+            has_transitions = bool(s.transitions)
+            if has_transitions and s.dwell.kind == DwellKind.FOREVER:
+                raise ValueError(f"state {s.name!r} has transitions but FOREVER dwell")
+            if not has_transitions and s.dwell.kind != DwellKind.FOREVER:
+                raise ValueError(f"state {s.name!r} has finite dwell but no transitions")
+            for t in self.treatments:
+                trs = s.transitions.get(t, s.transitions.get(UNTREATED, ()))
+                if not trs:
+                    continue
+                total = sum(tr.prob for tr in trs)
+                if abs(total - 1.0) > 1e-9:
+                    raise ValueError(
+                        f"transitions of state {s.name!r} (treatment {t}) sum to {total}, not 1"
+                    )
+                targets = np.array([self.index[tr.target] for tr in trs], dtype=np.int32)
+                cum = np.cumsum([tr.prob for tr in trs])
+                self._compiled[(i, t)] = (targets, cum)
+
+    @property
+    def n_states(self) -> int:
+        return len(self.states)
+
+    def state_index(self, name: str) -> int:
+        return self.index[name]
+
+    def initial_health(self, n_persons: int) -> tuple[np.ndarray, np.ndarray]:
+        """Fresh ``(state, days_remaining)`` arrays — everyone susceptible."""
+        state = np.full(n_persons, self.susceptible_index, dtype=np.int32)
+        remaining = np.full(n_persons, FOREVER, dtype=np.int32)
+        return state, remaining
+
+    def entry_state(self, treatment: int) -> int:
+        """State index entered on infection under ``treatment``."""
+        name = self.infection_entry.get(treatment, self.infection_entry[UNTREATED])
+        return self.index[name]
+
+    # ------------------------------------------------------------------
+    # daily update
+    # ------------------------------------------------------------------
+    # Randomness is keyed per (day, person) — see repro.util.rng — so the
+    # outcome is independent of the order in which persons are processed.
+    # This is what lets the chare-parallel execution reproduce the
+    # sequential reference bit-for-bit regardless of data distribution.
+
+    _ADVANCE_SALT = 0
+    _INFECT_SALT = 1
+
+    def advance_day(
+        self,
+        state: np.ndarray,
+        remaining: np.ndarray,
+        treatment: np.ndarray,
+        day: int,
+        rng_factory,
+        subset: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Apply one day of PTTS evolution **in place**.
+
+        Decrements dwell timers and fires all due transitions (a person
+        makes at most one transition per day — dwell times are >= 1).
+        Returns the indices of persons whose state changed, which the
+        simulator uses for bookkeeping and dynamic-load statistics.
+
+        ``subset`` restricts the update to the given person ids — this
+        is how PersonManager chares advance only the persons they own.
+        Because draws are keyed per (day, person), advancing the whole
+        population at once or as a disjoint union of subsets yields
+        identical results.
+        """
+        if subset is None:
+            live = remaining != FOREVER
+            remaining[live] -= 1
+            due = np.flatnonzero(live & (remaining <= 0))
+        else:
+            subset = np.asarray(subset, dtype=np.int64)
+            live = subset[remaining[subset] != FOREVER]
+            remaining[live] -= 1
+            due = live[remaining[live] <= 0]
+        if due.size == 0:
+            return due
+        changed: list[int] = []
+        for p in due:
+            p = int(p)
+            s = int(state[p])
+            t = int(treatment[p])
+            compiled = self._compiled.get((s, t)) or self._compiled.get((s, UNTREATED))
+            if compiled is None:  # pragma: no cover - absorbing states never come due
+                continue
+            gen = rng_factory.stream(RngFactory.PERSON, day, p, self._ADVANCE_SALT)
+            targets, cum = compiled
+            choice = min(int(np.searchsorted(cum, gen.random(), side="right")), len(targets) - 1)
+            ns = int(targets[choice])
+            state[p] = ns
+            dwell = self.states[ns].dwell
+            remaining[p] = FOREVER if dwell.kind == DwellKind.FOREVER else int(dwell.sample(gen, 1)[0])
+            changed.append(p)
+        return np.asarray(changed, dtype=np.int64)
+
+    def infect(
+        self,
+        persons: np.ndarray,
+        state: np.ndarray,
+        remaining: np.ndarray,
+        treatment: np.ndarray,
+        day: int,
+        rng_factory,
+    ) -> np.ndarray:
+        """Move ``persons`` from susceptible into their entry state in place.
+
+        Persons not currently susceptible are ignored (a person may
+        receive several infect messages in one day; the first wins and
+        the rest are dropped, matching the paper's step 5).  Returns the
+        persons actually infected.
+        """
+        persons = np.unique(np.asarray(persons, dtype=np.int64))
+        mask = state[persons] == self.susceptible_index
+        hit = persons[mask]
+        for p in hit:
+            p = int(p)
+            entry = self.entry_state(int(treatment[p]))
+            state[p] = entry
+            dwell = self.states[entry].dwell
+            if dwell.kind == DwellKind.FOREVER:
+                remaining[p] = FOREVER
+            else:
+                gen = rng_factory.stream(RngFactory.PERSON, day, p, self._INFECT_SALT)
+                remaining[p] = int(dwell.sample(gen, 1)[0])
+        return hit
+
+
+# ----------------------------------------------------------------------
+# model presets
+# ----------------------------------------------------------------------
+def influenza_model(
+    r0_scale: float = 1.0,
+    vaccine_efficacy: float = 0.8,
+) -> DiseaseModel:
+    """An H1N1-like influenza PTTS.
+
+    Structure (the standard EpiSimdemics flu template)::
+
+        susceptible --infect--> latent --> {infectious_symptomatic (67%),
+                                            infectious_asymptomatic (33%)}
+                                        --> recovered
+
+    Vaccinated persons enter a ``latent_vax`` state that mostly resolves
+    without becoming infectious (``vaccine_efficacy`` of the time).
+    """
+    if not (0.0 <= vaccine_efficacy <= 1.0):
+        raise ValueError("vaccine_efficacy must be within [0, 1]")
+    symp_frac = 0.67
+    states = [
+        HealthState("susceptible", susceptibility=1.0 * r0_scale),
+        HealthState(
+            "latent",
+            dwell=DwellDistribution.uniform(1, 3),
+            transitions={
+                UNTREATED: (
+                    Transition("infectious_symptomatic", symp_frac),
+                    Transition("infectious_asymptomatic", 1.0 - symp_frac),
+                )
+            },
+        ),
+        HealthState(
+            "latent_vax",
+            dwell=DwellDistribution.uniform(1, 3),
+            transitions={
+                UNTREATED: (
+                    Transition("recovered", vaccine_efficacy),
+                    Transition("infectious_asymptomatic", 1.0 - vaccine_efficacy),
+                )
+            },
+        ),
+        HealthState(
+            "infectious_symptomatic",
+            infectivity=1.0,
+            symptomatic=True,
+            dwell=DwellDistribution.uniform(3, 6),
+            transitions={UNTREATED: (Transition("recovered", 1.0),)},
+        ),
+        HealthState(
+            "infectious_asymptomatic",
+            infectivity=0.5,
+            dwell=DwellDistribution.uniform(3, 6),
+            transitions={UNTREATED: (Transition("recovered", 1.0),)},
+        ),
+        HealthState("recovered"),
+    ]
+    return DiseaseModel(
+        states,
+        susceptible="susceptible",
+        infection_entry={UNTREATED: "latent", VACCINATED: "latent_vax"},
+    )
+
+
+def sir_model(
+    infectious_days: int = 4,
+    latent_days: int = 2,
+) -> DiseaseModel:
+    """A minimal S→E→I→R chain used by unit tests and the quickstart."""
+    states = [
+        HealthState("S", susceptibility=1.0),
+        HealthState(
+            "E",
+            dwell=DwellDistribution.fixed(latent_days),
+            transitions={UNTREATED: (Transition("I", 1.0),)},
+        ),
+        HealthState(
+            "I",
+            infectivity=1.0,
+            symptomatic=True,
+            dwell=DwellDistribution.fixed(infectious_days),
+            transitions={UNTREATED: (Transition("R", 1.0),)},
+        ),
+        HealthState("R"),
+    ]
+    return DiseaseModel(states, susceptible="S", infection_entry={UNTREATED: "E"})

@@ -1,0 +1,150 @@
+"""Location-phase exposure computation shared by all execution modes.
+
+The sequential reference simulator and the chare-parallel runtime both
+delegate the location phase (paper step 3) to
+:func:`compute_infections`; because transmission draws are keyed by
+``(day, location, person)``, the outcome is independent of how the
+locations are grouped into LocationManagers — the property that makes
+the parallel execution reproduce the sequential one exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.des import pairwise_exposures
+from repro.core.disease import DiseaseModel
+from repro.core.transmission import TransmissionModel
+from repro.util.rng import RngFactory
+
+__all__ = ["InfectionEvent", "LocationPhaseResult", "compute_infections"]
+
+
+@dataclass(frozen=True)
+class InfectionEvent:
+    """One successful transmission — the paper's "infect" message."""
+
+    person: int
+    location: int
+    minute: int  # earliest overlap end among the person's exposures here
+
+
+@dataclass
+class LocationPhaseResult:
+    """Infections plus the dynamic-load statistics of the phase."""
+
+    infections: list[InfectionEvent] = field(default_factory=list)
+    #: per-location event counts (2 × processed visits), keyed by location id
+    events: dict[int, int] = field(default_factory=dict)
+    #: per-location S×I interaction counts
+    interactions: dict[int, int] = field(default_factory=dict)
+
+    def merge(self, other: "LocationPhaseResult") -> None:
+        self.infections.extend(other.infections)
+        for k, v in other.events.items():
+            self.events[k] = self.events.get(k, 0) + v
+        for k, v in other.interactions.items():
+            self.interactions[k] = self.interactions.get(k, 0) + v
+
+
+def compute_infections(
+    visit_rows: np.ndarray,
+    graph,
+    health_state: np.ndarray,
+    disease: DiseaseModel,
+    transmission: TransmissionModel,
+    day: int,
+    rng_factory: RngFactory,
+    collect_stats: bool = False,
+) -> LocationPhaseResult:
+    """Run the location phase over the given visit rows.
+
+    Parameters
+    ----------
+    visit_rows:
+        Indices into ``graph``'s visit arrays — the visits that actually
+        happen today (interventions already applied).  May span any
+        subset of locations; rows of one location must all be present
+        (callers split by location, never within one).
+    graph:
+        A :class:`~repro.synthpop.graph.PersonLocationGraph`.
+    health_state:
+        Current per-person PTTS state indices.
+    collect_stats:
+        Also count events/interactions per location (costs one extra
+        pass; used when fitting the dynamic load model).
+
+    Notes
+    -----
+    Per (location, susceptible) the hazards of all S×I overlaps add and
+    a single uniform keyed ``(LOCATION, day, location, person)`` decides
+    infection — distributionally identical to per-pair Bernoulli trials
+    and, crucially, order-independent.
+    """
+    result = LocationPhaseResult()
+    if visit_rows.size == 0:
+        return result
+    vp = graph.visit_person[visit_rows]
+    vl = graph.visit_location[visit_rows]
+    vs = graph.visit_subloc[visit_rows]
+    vstart = graph.visit_start[visit_rows]
+    vend = graph.visit_end[visit_rows]
+    states = health_state[vp]
+    sus_mask = disease.is_susceptible[states]
+    inf_mask = disease.is_infectious[states]
+
+    if collect_stats:
+        locs, counts = np.unique(vl, return_counts=True)
+        result.events = {int(l): int(2 * c) for l, c in zip(locs, counts)}
+
+    # Only locations with at least one infectious *and* one susceptible
+    # visit can transmit; restrict the expensive pass to those.
+    has_inf = np.zeros(graph.n_locations, dtype=bool)
+    has_inf[vl[inf_mask]] = True
+    has_sus = np.zeros(graph.n_locations, dtype=bool)
+    has_sus[vl[sus_mask]] = True
+    active_loc = has_inf & has_sus
+    cand = active_loc[vl] & (sus_mask | inf_mask)
+    if not cand.any():
+        return result
+
+    idx = np.flatnonzero(cand)
+    order = idx[np.argsort(vl[idx], kind="stable")]
+    loc_sorted = vl[order]
+    boundaries = np.flatnonzero(np.diff(loc_sorted)) + 1
+    inf_coef = disease.infectivity
+    sus_coef = disease.susceptibility
+
+    for group in np.split(order, boundaries):
+        loc = int(vl[group[0]])
+        s_idx, i_idx, o_start, o_end = pairwise_exposures(
+            vs[group], vstart[group], vend[group], sus_mask[group], inf_mask[group]
+        )
+        if s_idx.size == 0:
+            continue
+        if collect_stats:
+            result.interactions[loc] = result.interactions.get(loc, 0) + int(s_idx.size)
+        g_s = group[s_idx]
+        g_i = group[i_idx]
+        hazards = transmission.hazard(
+            (o_end - o_start).astype(np.float64),
+            inf_coef[states[g_i]],
+            sus_coef[states[g_s]],
+        )
+        # Accumulate hazard and earliest potential infection minute per
+        # susceptible person at this location.
+        persons = vp[g_s]
+        uniq_p, inv = np.unique(persons, return_inverse=True)
+        total_h = np.bincount(inv, weights=hazards, minlength=uniq_p.size)
+        first_minute = np.full(uniq_p.size, np.iinfo(np.int64).max)
+        np.minimum.at(first_minute, inv, o_end)
+        probs = transmission.probability(total_h)
+        for j, p in enumerate(uniq_p):
+            u = rng_factory.stream(RngFactory.LOCATION, day, loc, int(p)).random()
+            if u < probs[j]:
+                result.infections.append(
+                    InfectionEvent(person=int(p), location=loc, minute=int(first_minute[j]))
+                )
+    return result

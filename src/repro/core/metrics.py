@@ -1,0 +1,80 @@
+"""Epidemic output metrics (paper step 6: global system state).
+
+Collected once per simulated day by every execution mode; the
+integration tests compare these curves across modes for exact equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.disease import DiseaseModel
+
+__all__ = ["EpiCurve", "state_histogram"]
+
+
+def state_histogram(health_state: np.ndarray, disease: DiseaseModel) -> dict[str, int]:
+    """Count persons per PTTS state name."""
+    counts = np.bincount(health_state, minlength=disease.n_states)
+    return {s.name: int(c) for s, c in zip(disease.states, counts)}
+
+
+@dataclass
+class EpiCurve:
+    """Per-day epidemic time series.
+
+    Attributes
+    ----------
+    new_infections:
+        Transmissions per day (index cases count on day 0).
+    prevalence:
+        Fraction of the population in a non-susceptible, non-absorbing
+        state (i.e. currently latent or infectious) at end of day.
+    cumulative_infections:
+        Total persons ever infected by end of day.
+    """
+
+    new_infections: list[int] = field(default_factory=list)
+    prevalence: list[float] = field(default_factory=list)
+    cumulative_infections: list[int] = field(default_factory=list)
+
+    def record_day(self, new: int, prevalence: float) -> None:
+        prior = self.cumulative_infections[-1] if self.cumulative_infections else 0
+        self.new_infections.append(int(new))
+        self.prevalence.append(float(prevalence))
+        self.cumulative_infections.append(prior + int(new))
+
+    @property
+    def n_days(self) -> int:
+        return len(self.new_infections)
+
+    @property
+    def peak_day(self) -> int:
+        """Day with the most new infections."""
+        if not self.new_infections:
+            raise ValueError("empty curve")
+        return int(np.argmax(self.new_infections))
+
+    def attack_rate(self, n_persons: int) -> float:
+        """Fraction of the population ever infected."""
+        if not self.cumulative_infections:
+            return 0.0
+        return self.cumulative_infections[-1] / n_persons
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        return {
+            "new_infections": np.asarray(self.new_infections, dtype=np.int64),
+            "prevalence": np.asarray(self.prevalence, dtype=np.float64),
+            "cumulative_infections": np.asarray(self.cumulative_infections, dtype=np.int64),
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EpiCurve):
+            return NotImplemented
+        return (
+            self.new_infections == other.new_infections
+            and self.cumulative_infections == other.cumulative_infections
+            and np.allclose(self.prevalence, other.prevalence)
+        )

@@ -1,0 +1,596 @@
+"""EpiSimdemics as chares on the simulated Charm++ runtime.
+
+The paper's Figure-1 structure: two chare arrays — PersonManagers (PM)
+and LocationManagers (LM) — each managing many second-level objects
+(persons / locations), distributed by one of the data-distribution
+strategies (RR, GP, …-splitLoc) and mapped onto PEs.  Each simulated
+day runs the six-step algorithm with real protocol traffic:
+
+1. driver broadcasts ``person_phase`` — PMs advance their persons'
+   PTTS, filter their visits through the intervention schedule, and
+   stream visit records to the owning LMs through the aggregation
+   channel;
+2. a completion detector (or quiescence detector) closes the phase;
+3. driver broadcasts ``location_phase`` — LMs run the DES/interaction
+   kernel over the visits they received and send infect messages;
+4. a second detector closes the infect phase;
+5. driver broadcasts ``apply_phase`` — PMs apply infections;
+6. a spanning-tree reduction returns the day's statistics to the driver.
+
+**Semantics are exact** (keyed RNG makes the epidemic identical to the
+sequential reference — asserted in tests); **time is modelled**: entry
+methods charge costs from :class:`ComputeCostModel` (the paper's load
+model) and every message pays the machine/network model's prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.charm.chare import Chare
+from repro.charm.completion import CompletionDetector, QuiescenceDetector
+from repro.charm.loadbalance import MigrationCostModel, greedy_lb, refine_lb
+from repro.charm.machine import Machine, MachineConfig
+from repro.charm.messages import INFECT_BYTES, VISIT_BYTES
+from repro.charm.network import NetworkModel
+from repro.charm.scheduler import RuntimeSimulator
+from repro.core.disease import UNTREATED
+from repro.core.exposure import compute_infections
+from repro.core.interventions import DayContext
+from repro.core.metrics import EpiCurve, state_histogram
+from repro.core.scenario import Scenario
+from repro.core.simulator import DayResult, SimulationResult
+from repro.loadmodel.dynamic import DynamicLoadModel
+from repro.loadmodel.static import PAPER_STATIC_MODEL, PiecewiseLoadModel
+from repro.partition.quality import BipartitePartition
+
+__all__ = [
+    "ComputeCostModel",
+    "Distribution",
+    "PhaseTimes",
+    "ParallelResult",
+    "ParallelEpiSimdemics",
+]
+
+
+@dataclass(frozen=True)
+class ComputeCostModel:
+    """Virtual-time costs of the application's compute kernels.
+
+    Location costs come from the paper's static model (events) plus the
+    dynamic model (interactions) — the dynamic part is what static
+    partitioning cannot balance.  Person-side constants are set so the
+    person phase costs roughly 30–50% of the location phase at equal
+    balance, matching the paper's description of a dual-phase
+    computation with the location phase dominant.
+    """
+
+    location_static: PiecewiseLoadModel = PAPER_STATIC_MODEL
+    location_dynamic: DynamicLoadModel = field(default_factory=DynamicLoadModel)
+    #: per owned person per day (health recalculation)
+    person_health_cost: float = 2.0e-7
+    #: per visit generated (schedule computation + message build)
+    visit_compute_cost: float = 6.0e-7
+    #: per PTTS transition fired
+    transition_cost: float = 1.0e-6
+    #: per infect message applied
+    infect_apply_cost: float = 1.0e-6
+
+
+@dataclass
+class Distribution:
+    """Object→chare and chare→PE mapping for both arrays.
+
+    Built from a :class:`BipartitePartition` whose part ids are chare
+    ids; chares map to PEs round-robin (part ``c`` → PE ``c % n_pes``),
+    so with ``chares_per_pe == 1`` part ids are PE ids, and with
+    over-decomposition each PE holds several parts.
+    """
+
+    person_chare: np.ndarray
+    location_chare: np.ndarray
+    n_pm: int
+    n_lm: int
+    pm_placement: np.ndarray
+    lm_placement: np.ndarray
+    method: str = ""
+
+    @classmethod
+    def from_partition(
+        cls, partition: BipartitePartition, machine: Machine | MachineConfig
+    ) -> "Distribution":
+        n_pes = machine.n_pes if isinstance(machine, Machine) else Machine(machine).n_pes
+        k = partition.k
+        return cls(
+            person_chare=partition.person_part.astype(np.int64),
+            location_chare=partition.location_part.astype(np.int64),
+            n_pm=k,
+            n_lm=k,
+            pm_placement=np.arange(k, dtype=np.int64) % n_pes,
+            lm_placement=np.arange(k, dtype=np.int64) % n_pes,
+            method=partition.method,
+        )
+
+
+@dataclass
+class PhaseTimes:
+    """Virtual-time stamps of one day's phase boundaries."""
+
+    day: int
+    start: float
+    visits_done: float
+    locations_done: float
+    day_done: float
+
+    @property
+    def person_phase(self) -> float:
+        return self.visits_done - self.start
+
+    @property
+    def location_phase(self) -> float:
+        return self.locations_done - self.visits_done
+
+    @property
+    def total(self) -> float:
+        return self.day_done - self.start
+
+
+@dataclass
+class ParallelResult:
+    """Epidemic output + virtual timing of a parallel run."""
+
+    result: SimulationResult
+    phase_times: list[PhaseTimes]
+    total_virtual_time: float
+    runtime_stats: dict
+
+    @property
+    def time_per_day(self) -> float:
+        """Mean virtual seconds per simulated day — Figure 13's y-axis."""
+        if not self.phase_times:
+            return 0.0
+        return float(np.mean([p.total for p in self.phase_times]))
+
+
+class _PersonManager(Chare):
+    def __init__(self, sim: "ParallelEpiSimdemics", persons: np.ndarray, rows: np.ndarray):
+        self.sim = sim
+        self.persons = persons
+        self.rows = rows  # all visit rows owned by this PM's persons
+        self.pending_infections: list[int] = []
+        self.new_today = 0
+
+    def person_phase(self, day: int) -> None:
+        sim = self.sim
+        cost = sim.costs
+        d = sim.scenario.disease
+        changed = d.advance_day(
+            sim.health_state, sim.days_remaining, sim.treatment, day,
+            sim.rng_factory, subset=self.persons,
+        )
+        self.charge(
+            cost.person_health_cost * self.persons.size
+            + cost.transition_cost * changed.size
+        )
+        keep = sim.scenario.interventions.visit_mask(sim.day_ctx, self.rows)
+        rows = self.rows[keep]
+        self.charge(cost.visit_compute_cost * rows.size)
+        lm_of = sim.distribution.location_chare
+        dests = lm_of[sim.graph.visit_location[rows]]
+        det = sim.visit_detector
+        channel, lm_name = sim.name("visits"), sim.name("lm")
+        for row, dst in zip(rows.tolist(), dests.tolist()):
+            det.produce()
+            self.send_via(channel, lm_name, dst, "recv_visits", row, VISIT_BYTES)
+        self.sim.runtime.flush_channel(channel, self.pe)
+        det.producer_done()
+
+    def recv_infect(self, payload) -> None:
+        person, _minute = payload
+        self.sim.infect_detector.consume()
+        self.pending_infections.append(person)
+
+    def apply_phase(self, day: int) -> None:
+        sim = self.sim
+        pending = np.asarray(self.pending_infections, dtype=np.int64)
+        self.pending_infections = []
+        infected = sim.scenario.disease.infect(
+            pending, sim.health_state, sim.days_remaining, sim.treatment,
+            day=day, rng_factory=sim.rng_factory,
+        )
+        sim.ever_infected[infected] = True
+        self.charge(sim.costs.infect_apply_cost * max(1, pending.size))
+        self.contribute(sim.name("day_stats"), int(infected.size))
+
+
+class _LocationManager(Chare):
+    def __init__(self, sim: "ParallelEpiSimdemics", locations: np.ndarray):
+        self.sim = sim
+        self.locations = locations
+        self.buffered_rows: list[int] = []
+
+    def recv_visits(self, row: int) -> None:
+        self.sim.visit_detector.consume()
+        self.buffered_rows.append(row)
+
+    def location_phase(self, day: int) -> None:
+        sim = self.sim
+        rows = np.asarray(sorted(self.buffered_rows), dtype=np.int64)
+        self.buffered_rows = []
+        phase = compute_infections(
+            rows, sim.graph, sim.health_state, sim.scenario.disease,
+            sim.scenario.transmission, day, sim.rng_factory, collect_stats=True,
+        )
+        # Feed the predictive load balancer's application-specific view.
+        for loc, inter in phase.interactions.items():
+            sim.last_interactions[loc] = inter
+        static = sim.costs.location_static
+        dynamic = sim.costs.location_dynamic
+        compute = 0.0
+        for loc, events in phase.events.items():
+            inter = phase.interactions.get(loc, 0)
+            compute += float(static.evaluate(float(events))) + float(
+                dynamic.evaluate(events, inter)
+            )
+        self.charge(compute)
+        det = sim.infect_detector
+        pm_of = sim.distribution.person_chare
+        pm_name = sim.name("pm")
+        for ev in phase.infections:
+            det.produce()
+            self.send(
+                pm_name, int(pm_of[ev.person]), "recv_infect",
+                (ev.person, ev.minute), INFECT_BYTES,
+            )
+        det.producer_done()
+
+
+class _Driver(Chare):
+    def __init__(self, sim: "ParallelEpiSimdemics"):
+        self.sim = sim
+        self._t_start = 0.0
+        self._t_visits = 0.0
+        self._t_locations = 0.0
+
+    def start_day(self, _payload=None) -> None:
+        sim = self.sim
+        day = sim.day
+        sim.prepare_day(day)
+        self._t_start = self.now()
+        driver = sim.name("driver")
+        sim.visit_detector.begin_phase(sim.distribution.n_pm, (driver, 0, "visits_done"))
+        sim.infect_detector.begin_phase(sim.distribution.n_lm, (driver, 0, "infects_done"))
+        self.runtime.broadcast(sim.name("pm"), "person_phase", day)
+
+    def visits_done(self, _payload=None) -> None:
+        self._t_visits = self.now()
+        self.runtime.broadcast(self.sim.name("lm"), "location_phase", self.sim.day)
+
+    def infects_done(self, _payload=None) -> None:
+        self._t_locations = self.now()
+        self.runtime.broadcast(self.sim.name("pm"), "apply_phase", self.sim.day)
+
+    def on_day_stats(self, new_infections: int) -> None:
+        sim = self.sim
+        sim.finish_day(
+            new_infections,
+            PhaseTimes(
+                day=sim.day,
+                start=self._t_start,
+                visits_done=self._t_visits,
+                locations_done=self._t_locations,
+                day_done=self.now(),
+            ),
+        )
+        # Load balancing runs at the day boundary (bulk synchronous);
+        # charging the driver delays the next day's broadcast, which is
+        # exactly the global stall an LB step causes.
+        lb_cost = sim.maybe_rebalance(sim.day)
+        if lb_cost:
+            self.charge(lb_cost)
+        if sim.day < sim.scenario.n_days:
+            self.send(sim.name("driver"), 0, "start_day", None)
+
+
+class ParallelEpiSimdemics:
+    """Drives one scenario on the simulated runtime.
+
+    Parameters
+    ----------
+    scenario:
+        The simulation specification (same object the sequential
+        simulator takes).
+    machine:
+        Machine shape (nodes, cores, SMP layout).
+    distribution:
+        Object→chare→PE mapping from a partitioning strategy.
+    network:
+        Communication cost constants.
+    costs:
+        Compute-kernel cost constants.
+    sync:
+        ``"cd"`` (completion detection, the paper's optimisation) or
+        ``"qd"`` (quiescence detection, the baseline).
+    aggregation_bytes:
+        Visit-channel buffer size; 0 disables aggregation.
+    lb_period:
+        Rebalance LocationManagers every N days (None = off).  Needs
+        over-decomposition (more LM chares than PEs) to have any moves
+        to make.
+    lb_strategy:
+        ``"greedy"`` / ``"refine"`` (measurement-based, Charm++-style)
+        or ``"predictive"`` (the paper's §VII application-specific
+        proposal: predicted = static(events) + dynamic(last observed
+        interactions)).
+    migration_model:
+        Virtual-time price of an LB step.
+    runtime:
+        Attach to an existing runtime instead of creating one — this is
+        how several simulations share a machine (§IV-B's "multiple
+        simulations simultaneously" scenario; see
+        :class:`ParallelEnsemble`).  Requires a unique ``namespace``.
+    namespace:
+        Prefix applied to every array/channel/detector name this
+        simulation creates on the runtime.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        machine: MachineConfig,
+        distribution: Distribution,
+        network: NetworkModel | None = None,
+        costs: ComputeCostModel | None = None,
+        sync: str = "cd",
+        aggregation_bytes: int = 64 * 1024,
+        lb_period: int | None = None,
+        lb_strategy: str = "greedy",
+        migration_model: MigrationCostModel | None = None,
+        runtime: RuntimeSimulator | None = None,
+        namespace: str = "",
+    ):
+        if sync not in ("cd", "qd"):
+            raise ValueError("sync must be 'cd' or 'qd'")
+        if lb_strategy not in ("greedy", "refine", "predictive"):
+            raise ValueError("lb_strategy must be greedy, refine or predictive")
+        if lb_period is not None and lb_period < 1:
+            raise ValueError("lb_period must be a positive day count")
+        self.scenario = scenario
+        self.graph = scenario.graph
+        self.distribution = distribution
+        self.costs = costs or ComputeCostModel()
+        self.rng_factory = scenario.rng_factory
+        self.namespace = namespace
+        self.runtime = runtime if runtime is not None else RuntimeSimulator(machine, network)
+        self.runtime.ensure_pe_agents()
+
+        d = scenario.disease
+        g = self.graph
+        self.health_state, self.days_remaining = d.initial_health(g.n_persons)
+        self.treatment = np.full(g.n_persons, UNTREATED, dtype=np.int32)
+        self.ever_infected = np.zeros(g.n_persons, dtype=bool)
+        self.day = 0
+        self.day_ctx: DayContext | None = None
+        self._seeded = False
+        self._seeded_count = 0
+        self.curve = EpiCurve()
+        self.phase_times: list[PhaseTimes] = []
+        self.day_results: list[DayResult] = []
+        self._visits_today = 0
+        self.lb_period = lb_period
+        self.lb_strategy = lb_strategy
+        self.migration_model = migration_model or MigrationCostModel()
+        self.lb_steps = 0
+        self.lb_moves = 0
+        self.last_interactions: dict[int, int] = {}
+        self._cost_snapshot: dict[tuple[str, int], float] = {}
+
+        # Pre-compute per-chare object lists.
+        dist = distribution
+        pm_persons = [np.flatnonzero(dist.person_chare == c) for c in range(dist.n_pm)]
+        ptr = g.person_visit_slices()
+        all_rows = np.arange(g.n_visits, dtype=np.int64)
+        pm_rows = [
+            np.concatenate([all_rows[ptr[p] : ptr[p + 1]] for p in persons])
+            if persons.size
+            else np.empty(0, dtype=np.int64)
+            for persons in pm_persons
+        ]
+        lm_locations = [np.flatnonzero(dist.location_chare == c) for c in range(dist.n_lm)]
+
+        rt = self.runtime
+        rt.create_channel(self.name("visits"), aggregation_bytes)
+        rt.create_array(
+            self.name("pm"),
+            lambda i: _PersonManager(self, pm_persons[i], pm_rows[i]),
+            dist.pm_placement,
+        )
+        rt.create_array(
+            self.name("lm"),
+            lambda i: _LocationManager(self, lm_locations[i]),
+            dist.lm_placement,
+        )
+        rt.create_array(
+            self.name("driver"), lambda i: _Driver(self), np.zeros(1, dtype=np.int64)
+        )
+        detector_cls = CompletionDetector if sync == "cd" else QuiescenceDetector
+        self.visit_detector = detector_cls(rt, self.name("visits_phase"))
+        self.infect_detector = detector_cls(rt, self.name("infect_phase"))
+        rt.register_reduction(
+            self.name("day_stats"), combine=lambda a, b: a + b, arrays=[self.name("pm")],
+            target=(self.name("driver"), 0, "on_day_stats"),
+        )
+        if lb_period is not None:
+            rt.enable_chare_cost_tracking(self.name("lm"))
+        self._lm_locations = lm_locations
+
+    def name(self, base: str) -> str:
+        """Namespaced runtime identifier for this simulation's objects."""
+        return self.namespace + base
+
+    # ------------------------------------------------------------------
+    def prepare_day(self, day: int) -> None:
+        """Central start-of-day work: seeding, treatments, day context."""
+        sc = self.scenario
+        d = sc.disease
+        if not self._seeded:
+            cases = sc.index_cases()
+            infected = d.infect(
+                cases, self.health_state, self.days_remaining, self.treatment,
+                day=-1, rng_factory=self.rng_factory,
+            )
+            self.ever_infected[infected] = True
+            self._seeded_count = int(infected.size)
+            self._seeded = True
+        self.day_ctx = DayContext(
+            day=day,
+            graph=self.graph,
+            disease=d,
+            health_state=self.health_state,
+            treatment=self.treatment,
+            prevalence=self._prevalence(),
+            cumulative_attack=float(self.ever_infected.mean()),
+            rng_factory=self.rng_factory,
+        )
+        sc.interventions.update_treatments(self.day_ctx)
+
+    def _prevalence(self) -> float:
+        d = self.scenario.disease
+        if not hasattr(self, "_terminal_states"):
+            self._terminal_states = np.array(
+                [s.dwell.kind.name == "FOREVER" and not s.is_infectious and not s.is_susceptible
+                 for s in d.states]
+            )
+        now = self.ever_infected & (self.health_state != d.susceptible_index)
+        now &= ~self._terminal_states[self.health_state]
+        return float(now.sum()) / max(1, self.graph.n_persons)
+
+    def maybe_rebalance(self, day: int) -> float:
+        """Run an LB step if due; return its virtual-time cost (0 if not).
+
+        Called by the driver at the day boundary.  Only LocationManagers
+        migrate — the location phase carries the dynamic load.
+        """
+        if self.lb_period is None or day == 0 or day % self.lb_period != 0:
+            return 0.0
+        rt = self.runtime
+        lm_name = self.name("lm")
+        arr = rt.arrays[lm_name]
+        n_lm = arr.n_elements
+        if self.lb_strategy == "predictive":
+            # Application-specific prediction (paper §VII): the next
+            # day's LM cost from the static model plus the dynamic model
+            # fed with the interactions just observed.
+            events = 2.0 * self.graph.location_visit_counts.astype(np.float64)
+            static = np.asarray(self.costs.location_static.evaluate(events))
+            inter = np.zeros(self.graph.n_locations)
+            for loc, v in self.last_interactions.items():
+                inter[loc] = v
+            dynamic = np.asarray(self.costs.location_dynamic.evaluate(events, inter))
+            per_loc = static + dynamic
+            costs = np.zeros(n_lm)
+            np.add.at(costs, self.distribution.location_chare, per_loc)
+        else:
+            # Measured costs since the previous LB step (principle of
+            # persistence).
+            costs = np.zeros(n_lm)
+            for (aname, idx), total in rt.chare_costs.items():
+                if aname == lm_name:
+                    costs[idx] = total - self._cost_snapshot.get((aname, idx), 0.0)
+            self._cost_snapshot = dict(rt.chare_costs)
+        old = arr.placement.copy()
+        if self.lb_strategy == "refine":
+            new = refine_lb(costs, old, rt.machine.n_pes)
+        else:
+            new = greedy_lb(costs, rt.machine.n_pes)
+        summary = rt.migrate_array(lm_name, new)
+        self.lb_steps += 1
+        self.lb_moves += summary["moved"]
+        return self.migration_model.step_cost(rt.machine, rt.network, old, new)
+
+    def finish_day(self, new_infections: int, times: PhaseTimes) -> None:
+        """Called by the driver when a day's reduction arrives."""
+        total_new = new_infections + (self._seeded_count if self.day == 0 else 0)
+        prev = self._prevalence()
+        self.curve.record_day(total_new, prev)
+        self.day_results.append(
+            DayResult(
+                day=self.day,
+                visits_made=0,  # filled per-PM; aggregate not tracked here
+                new_infections=total_new,
+                transitions=0,
+                prevalence=prev,
+            )
+        )
+        self.phase_times.append(times)
+        self.day += 1
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Inject the first day (used when sharing a runtime)."""
+        self.runtime.inject(self.name("driver"), 0, "start_day")
+
+    def collect(self) -> ParallelResult:
+        """Assemble the result after the runtime has drained."""
+        result = SimulationResult(
+            curve=self.curve,
+            final_histogram=state_histogram(self.health_state, self.scenario.disease),
+            days=self.day_results,
+        )
+        return ParallelResult(
+            result=result,
+            phase_times=self.phase_times,
+            total_virtual_time=self.runtime.current_time,
+            runtime_stats=self.runtime.stats_summary(),
+        )
+
+    def run(self) -> ParallelResult:
+        """Run all days; return epidemic output plus virtual timing."""
+        self.start()
+        self.runtime.run(max_events=200_000_000)
+        return self.collect()
+
+
+class ParallelEnsemble:
+    """Several simulations sharing one simulated machine (§IV-B).
+
+    The paper's stated reason for completion detection over quiescence
+    detection: "in the future, we will use EPISIMDEMICS to perform
+    multiple simulations simultaneously, using dynamic replication of
+    state (chare arrays); we require an approach that enables us to
+    perform synchronization local to a module."  An ensemble runs R
+    replicas (different seeds or policies) concurrently on one runtime;
+    with CD each replica's phases close independently, while QD — which
+    observes *global* traffic — couples every replica to the slowest
+    one's drainage (see ``tests/integration/test_ensemble.py``).
+    """
+
+    def __init__(
+        self,
+        scenarios: list[Scenario],
+        machine: MachineConfig,
+        distributions: list[Distribution],
+        network: NetworkModel | None = None,
+        sync: str = "cd",
+        **sim_kwargs,
+    ):
+        if len(scenarios) != len(distributions):
+            raise ValueError("need one distribution per scenario")
+        if not scenarios:
+            raise ValueError("empty ensemble")
+        self.runtime = RuntimeSimulator(machine, network)
+        self.sims = [
+            ParallelEpiSimdemics(
+                sc, machine, dist, sync=sync, runtime=self.runtime,
+                namespace=f"r{i}.", **sim_kwargs,
+            )
+            for i, (sc, dist) in enumerate(zip(scenarios, distributions))
+        ]
+
+    def run(self) -> list[ParallelResult]:
+        for sim in self.sims:
+            sim.start()
+        self.runtime.run(max_events=500_000_000)
+        return [sim.collect() for sim in self.sims]

@@ -1,0 +1,268 @@
+"""PTTSL — a file format for PTTS disease models.
+
+The paper (§II-A) notes EpiSimdemics consumes disease models specified
+externally (the PTTS machinery plus a DSL for interventions and
+behaviour, ref. [6]).  This module provides the disease-model half: a
+small line-oriented language that compiles to
+:class:`repro.core.disease.DiseaseModel`, plus a serialiser so models
+round-trip.
+
+Grammar (``#`` comments, blank lines ignored)::
+
+    treatment NAME                      # declare a treatment set
+    state NAME [key=value ...]          # declare a state
+    transition SRC -> DST:P [, DST:P]*  [treatment=NAME]
+    entry -> STATE [treatment=NAME]     # state entered on infection
+    susceptible STATE                   # the initial state
+
+State keys: ``infectivity`` (float), ``susceptibility`` (float),
+``symptomatic`` (flag or true/false), ``dwell`` — one of
+``fixed(D)``, ``uniform(A,B)``, ``geometric(P)``, ``gamma(K,THETA)``,
+``forever`` (default).
+
+Example
+-------
+::
+
+    # a minimal SEIR
+    susceptible S
+    state S susceptibility=1.0
+    state E dwell=fixed(2)
+    state I infectivity=1.0 symptomatic dwell=uniform(3,5)
+    state R
+    transition E -> I:1.0
+    transition I -> R:1.0
+    entry -> E
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.disease import (
+    UNTREATED,
+    DiseaseModel,
+    DwellDistribution,
+    DwellKind,
+    HealthState,
+    Transition,
+)
+
+__all__ = ["parse_ptts", "format_ptts", "PTTSLError"]
+
+
+class PTTSLError(ValueError):
+    """Raised on malformed PTTSL input, with a line number."""
+
+    def __init__(self, lineno: int, message: str):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+_DWELL_RE = re.compile(r"^(fixed|uniform|geometric|gamma|forever)(?:\(([^)]*)\))?$")
+
+
+def _parse_dwell(text: str, lineno: int) -> DwellDistribution:
+    m = _DWELL_RE.match(text.strip())
+    if not m:
+        raise PTTSLError(lineno, f"bad dwell specification {text!r}")
+    kind, args_text = m.group(1), m.group(2)
+    args = [a.strip() for a in args_text.split(",")] if args_text else []
+    try:
+        if kind == "fixed":
+            (d,) = args
+            return DwellDistribution.fixed(int(d))
+        if kind == "uniform":
+            a, b = args
+            return DwellDistribution.uniform(int(a), int(b))
+        if kind == "geometric":
+            (p,) = args
+            return DwellDistribution.geometric(float(p))
+        if kind == "gamma":
+            k, theta = args
+            return DwellDistribution.gamma(float(k), float(theta))
+        if args:
+            raise ValueError("forever takes no arguments")
+        return DwellDistribution.forever()
+    except PTTSLError:
+        raise
+    except (ValueError, TypeError) as exc:
+        raise PTTSLError(lineno, f"bad dwell arguments in {text!r}: {exc}") from exc
+
+
+def _parse_flags(tokens: list[str], lineno: int) -> dict:
+    out: dict = {}
+    for tok in tokens:
+        if "=" in tok:
+            k, v = tok.split("=", 1)
+            out[k] = v
+        else:
+            out[tok] = "true"
+    for k in out:
+        if k not in ("infectivity", "susceptibility", "symptomatic", "dwell"):
+            raise PTTSLError(lineno, f"unknown state attribute {k!r}")
+    return out
+
+
+def parse_ptts(text: str) -> DiseaseModel:
+    """Compile PTTSL source into a :class:`DiseaseModel`."""
+    treatments: dict[str, int] = {"untreated": UNTREATED}
+    next_treatment = UNTREATED + 1
+    state_decls: dict[str, dict] = {}
+    state_order: list[str] = []
+    transitions: dict[tuple[str, int], list[Transition]] = {}
+    entries: dict[int, str] = {}
+    susceptible: str | None = None
+
+    def treatment_index(name: str, lineno: int) -> int:
+        if name not in treatments:
+            raise PTTSLError(lineno, f"unknown treatment {name!r} (declare it first)")
+        return treatments[name]
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        kw = tokens[0]
+
+        if kw == "treatment":
+            if len(tokens) != 2:
+                raise PTTSLError(lineno, "usage: treatment NAME")
+            name = tokens[1]
+            if name in treatments:
+                raise PTTSLError(lineno, f"treatment {name!r} already declared")
+            treatments[name] = next_treatment
+            next_treatment += 1
+
+        elif kw == "susceptible":
+            if len(tokens) != 2:
+                raise PTTSLError(lineno, "usage: susceptible STATE")
+            susceptible = tokens[1]
+
+        elif kw == "state":
+            if len(tokens) < 2:
+                raise PTTSLError(lineno, "usage: state NAME [attrs...]")
+            name = tokens[1]
+            if name in state_decls:
+                raise PTTSLError(lineno, f"state {name!r} already declared")
+            state_decls[name] = _parse_flags(tokens[2:], lineno)
+            state_order.append(name)
+
+        elif kw == "transition":
+            m = re.match(r"^transition\s+(\S+)\s*->\s*(.+)$", line)
+            if not m:
+                raise PTTSLError(lineno, "usage: transition SRC -> DST:P[, DST:P]*")
+            src, rest = m.group(1), m.group(2)
+            treatment = UNTREATED
+            tm = re.search(r"treatment=(\S+)\s*$", rest)
+            if tm:
+                treatment = treatment_index(tm.group(1), lineno)
+                rest = rest[: tm.start()].rstrip().rstrip(",")
+            trs = []
+            for part in rest.split(","):
+                part = part.strip()
+                if not part:
+                    continue
+                if ":" not in part:
+                    raise PTTSLError(lineno, f"expected DST:PROB, got {part!r}")
+                dst, prob = part.rsplit(":", 1)
+                try:
+                    trs.append(Transition(dst.strip(), float(prob)))
+                except ValueError as exc:
+                    raise PTTSLError(lineno, str(exc)) from exc
+            key = (src, treatment)
+            if key in transitions:
+                raise PTTSLError(
+                    lineno, f"duplicate transition block for {src!r} (treatment {treatment})"
+                )
+            transitions[key] = trs
+
+        elif kw == "entry":
+            m = re.match(r"^entry\s*->\s*(\S+)(?:\s+treatment=(\S+))?\s*$", line)
+            if not m:
+                raise PTTSLError(lineno, "usage: entry -> STATE [treatment=NAME]")
+            t = treatment_index(m.group(2), lineno) if m.group(2) else UNTREATED
+            entries[t] = m.group(1)
+
+        else:
+            raise PTTSLError(lineno, f"unknown directive {kw!r}")
+
+    # ---- assemble -----------------------------------------------------
+    if susceptible is None:
+        raise PTTSLError(0, "missing 'susceptible STATE' directive")
+    if UNTREATED not in entries:
+        raise PTTSLError(0, "missing 'entry -> STATE' for the untreated case")
+    for (src, _t), trs in transitions.items():
+        if src not in state_decls:
+            raise PTTSLError(0, f"transition from undeclared state {src!r}")
+        for tr in trs:
+            if tr.target not in state_decls:
+                raise PTTSLError(0, f"transition to undeclared state {tr.target!r}")
+    for name in list(entries.values()) + [susceptible]:
+        if name not in state_decls:
+            raise PTTSLError(0, f"undeclared state {name!r}")
+
+    states = []
+    for name in state_order:
+        attrs = state_decls[name]
+        per_treatment = {
+            t: tuple(trs) for (src, t), trs in transitions.items() if src == name
+        }
+        dwell = (
+            _parse_dwell(attrs["dwell"], 0)
+            if "dwell" in attrs
+            else DwellDistribution.forever()
+        )
+        states.append(
+            HealthState(
+                name=name,
+                infectivity=float(attrs.get("infectivity", 0.0)),
+                susceptibility=float(attrs.get("susceptibility", 0.0)),
+                symptomatic=str(attrs.get("symptomatic", "false")).lower() == "true",
+                dwell=dwell,
+                transitions=per_treatment,
+            )
+        )
+    return DiseaseModel(states, susceptible=susceptible, infection_entry=entries)
+
+
+def format_ptts(model: DiseaseModel) -> str:
+    """Serialise a :class:`DiseaseModel` back to PTTSL source."""
+    lines = [f"susceptible {model.states[model.susceptible_index].name}"]
+    all_treatments = sorted(set(model.treatments) | set(model.infection_entry))
+    for t in all_treatments:
+        if t != UNTREATED:
+            lines.append(f"treatment t{t}")
+    for s in model.states:
+        attrs = []
+        if s.infectivity:
+            attrs.append(f"infectivity={s.infectivity}")
+        if s.susceptibility:
+            attrs.append(f"susceptibility={s.susceptibility}")
+        if s.symptomatic:
+            attrs.append("symptomatic")
+        if s.dwell.kind != DwellKind.FOREVER:
+            attrs.append(f"dwell={_format_dwell(s.dwell)}")
+        lines.append(("state " + s.name + " " + " ".join(attrs)).rstrip())
+    for s in model.states:
+        for t, trs in sorted(s.transitions.items()):
+            body = ", ".join(f"{tr.target}:{tr.prob}" for tr in trs)
+            suffix = "" if t == UNTREATED else f" treatment=t{t}"
+            lines.append(f"transition {s.name} -> {body}{suffix}")
+    for t, name in sorted(model.infection_entry.items()):
+        suffix = "" if t == UNTREATED else f" treatment=t{t}"
+        lines.append(f"entry -> {name}{suffix}")
+    return "\n".join(lines) + "\n"
+
+
+def _format_dwell(d: DwellDistribution) -> str:
+    if d.kind == DwellKind.FIXED:
+        return f"fixed({int(d.a)})"
+    if d.kind == DwellKind.UNIFORM:
+        return f"uniform({int(d.a)},{int(d.b)})"
+    if d.kind == DwellKind.GEOMETRIC:
+        return f"geometric({d.a})"
+    if d.kind == DwellKind.GAMMA:
+        return f"gamma({d.a},{d.b})"
+    return "forever"

@@ -1,0 +1,82 @@
+"""Scenario: everything needed to run one simulation.
+
+A :class:`Scenario` bundles the population graph, the PTTS disease
+model, the transmission coefficients, the intervention schedule, the
+horizon and the seeding policy.  Both the sequential reference
+simulator and the chare-parallel runtime consume the same scenario —
+and, because all randomness is keyed from the scenario seed, produce
+the same epidemic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.disease import DiseaseModel, influenza_model
+from repro.core.interventions import InterventionSchedule
+from repro.core.transmission import TransmissionModel
+from repro.synthpop.graph import PersonLocationGraph
+from repro.util.rng import RngFactory
+
+__all__ = ["Scenario"]
+
+
+@dataclass
+class Scenario:
+    """One fully specified simulation.
+
+    Parameters
+    ----------
+    graph:
+        The person–location graph.
+    disease:
+        PTTS model; defaults to the H1N1-like influenza template.
+    transmission:
+        Transmission coefficients.
+    interventions:
+        Intervention schedule; note intervention objects hold trigger
+        state, so build a fresh schedule per run.
+    n_days:
+        Simulated days.  The paper notes typical studies run 120–180
+        days; tests use much shorter horizons.
+    initial_infections:
+        Either an int (that many index cases drawn with a keyed stream)
+        or an explicit array of person ids.
+    seed:
+        Root seed for every stochastic component of the run.
+    """
+
+    graph: PersonLocationGraph
+    disease: DiseaseModel = field(default_factory=influenza_model)
+    transmission: TransmissionModel = field(default_factory=TransmissionModel)
+    interventions: InterventionSchedule = field(default_factory=InterventionSchedule)
+    n_days: int = 120
+    initial_infections: int | np.ndarray = 5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_days < 1:
+            raise ValueError("n_days must be positive")
+        if isinstance(self.initial_infections, (int, np.integer)):
+            if self.initial_infections < 0:
+                raise ValueError("initial_infections must be non-negative")
+            if self.initial_infections > self.graph.n_persons:
+                raise ValueError("more index cases than persons")
+
+    @property
+    def rng_factory(self) -> RngFactory:
+        return RngFactory(self.seed)
+
+    def index_cases(self) -> np.ndarray:
+        """Resolve the index-case person ids for this scenario."""
+        if isinstance(self.initial_infections, (int, np.integer)):
+            rng = self.rng_factory.stream(RngFactory.INTERVENTION, -1)
+            return rng.choice(
+                self.graph.n_persons, size=int(self.initial_infections), replace=False
+            ).astype(np.int64)
+        cases = np.asarray(self.initial_infections, dtype=np.int64)
+        if cases.size and (cases.min() < 0 or cases.max() >= self.graph.n_persons):
+            raise ValueError("index case id out of range")
+        return cases

@@ -1,0 +1,70 @@
+"""Exposure → infection probability.
+
+EpiSimdemics uses the transmission function from Barrett et al. (SC'08):
+the probability that susceptible *s* is infected by co-located
+infectious *i* over an exposure of ``tau`` minutes is
+
+    p = 1 − exp(τ · ln(1 − r · ρ_i · σ_s))
+
+with base transmissibility ``r`` per unit time, infectivity ``ρ_i`` of
+the infectious person's health state and susceptibility ``σ_s`` of the
+susceptible's.  For small rates this equals the Poisson/hazard form
+``1 − exp(−τ·r·ρ·σ)``; we implement the exact log form and expose the
+accumulated *hazard* so that multiple simultaneous exposures compose by
+addition (probabilistically equivalent to independent Bernoulli trials
+per infectious contact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TransmissionModel"]
+
+
+@dataclass(frozen=True)
+class TransmissionModel:
+    """Transmission coefficients.
+
+    Parameters
+    ----------
+    transmissibility:
+        Base probability per minute of contact at infectivity =
+        susceptibility = 1.  The default (1e-4/min) calibrates the
+        bundled influenza PTTS to a pandemic-flu-like trajectory on the
+        synthetic populations: ~50–70% attack rate with an epidemic
+        peak some 4–6 weeks after seeding.
+    """
+
+    transmissibility: float = 1.0e-4
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.transmissibility < 1.0):
+            raise ValueError("transmissibility must be in [0, 1)")
+
+    def hazard(
+        self,
+        overlap_minutes: np.ndarray | float,
+        infectivity: np.ndarray | float,
+        susceptibility: np.ndarray | float,
+    ) -> np.ndarray | float:
+        """Per-pair infection hazard; hazards across contacts add."""
+        # -ln(1 - r·ρ·σ) per minute of exposure.
+        rate = self.transmissibility * np.asarray(infectivity) * np.asarray(susceptibility)
+        rate = np.clip(rate, 0.0, 1.0 - 1e-12)
+        return np.asarray(overlap_minutes) * (-np.log1p(-rate))
+
+    def probability(self, total_hazard: np.ndarray | float) -> np.ndarray | float:
+        """Infection probability from an accumulated hazard."""
+        return -np.expm1(-np.asarray(total_hazard, dtype=np.float64))
+
+    def pair_probability(
+        self,
+        overlap_minutes: np.ndarray | float,
+        infectivity: np.ndarray | float,
+        susceptibility: np.ndarray | float,
+    ) -> np.ndarray | float:
+        """Convenience: single-pair infection probability."""
+        return self.probability(self.hazard(overlap_minutes, infectivity, susceptibility))

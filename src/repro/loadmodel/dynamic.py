@@ -1,0 +1,52 @@
+"""The dynamic location load model (paper §III-A, Figure 3b).
+
+Two of the three model inputs the paper names — the *sum of
+interactions* and the *sum of the reciprocal of interactions* — are
+only available at run time, so this model cannot drive static
+partitioning; the paper uses it to characterise the non-deterministic
+load component (and flags dynamic balancing as future work, §VII).
+
+We use it in the runtime simulator as the part of a location's compute
+cost that static GP partitioning cannot see: the gap between GP's
+predicted balance and achieved balance in the Figure-13 benches comes
+from exactly this term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DynamicLoadModel"]
+
+
+@dataclass(frozen=True)
+class DynamicLoadModel:
+    """Linear model over run-time DES statistics.
+
+    ``load = c_events·events + c_inter·interactions + c_recip·Σ(1/i)``
+
+    Default coefficients make the dynamic component a meaningful but
+    minority share (~10–30%) of a busy location's cost, consistent with
+    the paper's observation that the statically predictable part
+    dominates.
+    """
+
+    c_events: float = 0.0
+    c_interactions: float = 2.0e-7
+    c_recip: float = 5.0e-8
+
+    def evaluate(
+        self,
+        events: np.ndarray | float,
+        interactions: np.ndarray | float,
+        recip_interactions: np.ndarray | float = 0.0,
+    ) -> np.ndarray | float:
+        return (
+            self.c_events * np.asarray(events, dtype=np.float64)
+            + self.c_interactions * np.asarray(interactions, dtype=np.float64)
+            + self.c_recip * np.asarray(recip_interactions, dtype=np.float64)
+        )
+
+    __call__ = evaluate

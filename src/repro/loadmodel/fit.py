@@ -1,0 +1,134 @@
+"""Fitting the piecewise-linear load model from measurements.
+
+The paper builds its static model by "measuring LocationManagers'
+processing time" and fitting a piecewise linear regression (Figure 3a,
+~5% average error).  :func:`fit_piecewise_linear` reproduces that
+procedure: a grid search over candidate crossover points, ordinary
+least squares on each side, minimum total squared error wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.loadmodel.static import PiecewiseLoadModel
+
+__all__ = ["FitReport", "fit_piecewise_linear"]
+
+
+@dataclass(frozen=True)
+class FitReport:
+    """Result of a load-model fit."""
+
+    model: PiecewiseLoadModel
+    mean_relative_error: float
+    max_relative_error: float
+    n_samples: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        m = self.model
+        return (
+            f"Ya = {m.intercept_a:.3e} + {m.slope_a:.3e}·X'\n"
+            f"Yb = {m.intercept_b:.3e} + {m.slope_b:.3e}·X'\n"
+            f"phi = {m.crossover:.1f}, mean rel. error = "
+            f"{100 * self.mean_relative_error:.1f}% over {self.n_samples} samples"
+        )
+
+
+def _ols_line(x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+    """Relative-error weighted least squares (intercept, slope).
+
+    Weighting each residual by 1/y makes the fit minimise *relative*
+    error — the metric the paper reports (~5% average) — instead of
+    letting the largest locations dominate the objective.
+    """
+    if x.size < 2 or np.ptp(x) == 0:
+        return float(y.mean()), 0.0
+    w = 1.0 / np.maximum(np.abs(y), np.abs(y).max() * 1e-9)
+    sw = w.sum()
+    mx = (w * x).sum() / sw
+    my = (w * y).sum() / sw
+    var = (w * (x - mx) ** 2).sum()
+    if var == 0:
+        return float(my), 0.0
+    slope = (w * (x - mx) * (y - my)).sum() / var
+    return float(my - slope * mx), float(slope)
+
+
+def fit_piecewise_linear(
+    events: np.ndarray,
+    loads: np.ndarray,
+    n_breakpoints: int = 64,
+    mu: float = 1.0,
+) -> FitReport:
+    """Fit the two-segment model to measured ``(events, load)`` samples.
+
+    Parameters
+    ----------
+    events:
+        Event counts per measured work unit (X in the paper).
+    loads:
+        Measured processing times (Y), same length.
+    n_breakpoints:
+        Size of the crossover candidate grid (log-spaced over the
+        observed X′ range).
+    mu:
+        Input scaling applied before fitting (the paper measures
+        manager-level aggregates and scales by µ).
+    """
+    x = np.asarray(events, dtype=np.float64) * mu
+    y = np.asarray(loads, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("events and loads must be equal-length 1-D arrays")
+    if x.size < 4:
+        raise ValueError("need at least 4 samples to fit a piecewise model")
+    if np.any(y < 0):
+        raise ValueError("negative load measurement")
+
+    order = np.argsort(x)
+    x, y = x[order], y[order]
+    lo, hi = max(x[1], 1e-9), x[-2]
+    if hi <= lo:
+        candidates = np.array([x.mean()])
+    else:
+        candidates = np.geomspace(lo, hi, n_breakpoints)
+
+    best = None
+    for phi in candidates:
+        left = x <= phi
+        right = ~left
+        if left.sum() < 2 or right.sum() < 2:
+            continue
+        ia, sa = _ols_line(x[left], y[left])
+        ib, sb = _ols_line(x[right], y[right])
+        pred = np.where(left, ia + sa * x, ib + sb * x)
+        denom = np.maximum(np.abs(y), np.abs(y).max() * 1e-9)
+        sse = float(np.sum(((pred - y) / denom) ** 2))
+        if best is None or sse < best[0]:
+            best = (sse, phi, ia, sa, ib, sb)
+    if best is None:
+        # Degenerate sample range: single line.
+        ia, sa = _ols_line(x, y)
+        best = (0.0, float(x.mean()), ia, sa, ia, sa)
+
+    _, phi, ia, sa, ib, sb = best
+    model = PiecewiseLoadModel(
+        intercept_a=ia,
+        slope_a=sa,
+        intercept_b=ib,
+        slope_b=sb,
+        crossover=float(phi),
+        transition_width=max(float(phi) / 10.0, 1e-9),
+        mu=mu,
+    )
+    pred = model.evaluate(np.asarray(events, dtype=np.float64))
+    denom = np.maximum(y, np.max(y) * 1e-6)
+    rel = np.abs(pred - y) / denom
+    return FitReport(
+        model=model,
+        mean_relative_error=float(rel.mean()),
+        max_relative_error=float(rel.max()),
+        n_samples=int(x.size),
+    )

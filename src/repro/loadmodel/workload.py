@@ -1,0 +1,82 @@
+"""Vertex-weight assignment for multi-constraint partitioning.
+
+The paper partitions the bipartite person–location graph with METIS'
+multi-constraint mode: each vertex carries a *vector* of weights, one
+per balancing constraint, each constraint corresponding to one phase of
+the computation (paper §III-A):
+
+* constraint 0 — the **person phase**: person vertices weigh their
+  message count (= visit degree); location vertices weigh 0;
+* constraint 1 — the **location phase**: location vertices weigh their
+  modelled static load; person vertices weigh 0.
+
+Balancing both constraints simultaneously balances both phases, which
+a single combined weight cannot do (a partition full of persons and a
+partition full of locations could have equal totals yet idle
+alternately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.loadmodel.static import PAPER_STATIC_MODEL, PiecewiseLoadModel
+from repro.synthpop.graph import PersonLocationGraph
+
+__all__ = ["WorkloadModel", "person_loads", "location_loads", "vertex_weight_matrix"]
+
+
+def person_loads(graph: PersonLocationGraph) -> np.ndarray:
+    """Person-phase load: the number of visit messages each person sends.
+
+    The paper approximates person load by message count because its
+    variance is small (5.5 ± 2.6 for the US data).
+    """
+    return graph.person_degrees.astype(np.float64)
+
+
+def location_loads(
+    graph: PersonLocationGraph, model: PiecewiseLoadModel = PAPER_STATIC_MODEL
+) -> np.ndarray:
+    """Location-phase static load: the model applied to 2×visits events."""
+    events = 2.0 * graph.location_visit_counts.astype(np.float64)
+    return np.asarray(model.evaluate(events), dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class WorkloadModel:
+    """Bundles the static model plus integer-scaling for the partitioner.
+
+    Graph partitioners want integer vertex weights; ``int_scale`` maps
+    the continuous location loads onto integers with enough resolution
+    that rounding noise stays below the balance tolerance.
+    """
+
+    static_model: PiecewiseLoadModel = PAPER_STATIC_MODEL
+    int_scale: float = 1.0e6
+
+    def person_weights(self, graph: PersonLocationGraph) -> np.ndarray:
+        return np.maximum(1, person_loads(graph)).astype(np.int64)
+
+    def location_weights(self, graph: PersonLocationGraph) -> np.ndarray:
+        loads = location_loads(graph, self.static_model)
+        return np.maximum(1, np.round(loads * self.int_scale)).astype(np.int64)
+
+
+def vertex_weight_matrix(
+    graph: PersonLocationGraph, workload: WorkloadModel | None = None
+) -> np.ndarray:
+    """The (n_persons + n_locations) × 2 multi-constraint weight matrix.
+
+    Row layout matches the partitioner's bipartite vertex numbering:
+    persons first (ids 0..n_persons-1), then locations
+    (ids n_persons..n_persons+n_locations-1).
+    """
+    workload = workload or WorkloadModel()
+    n, m = graph.n_persons, graph.n_locations
+    w = np.zeros((n + m, 2), dtype=np.int64)
+    w[:n, 0] = workload.person_weights(graph)
+    w[n:, 1] = workload.location_weights(graph)
+    return w

@@ -1,0 +1,54 @@
+"""Graph partitioning: the paper's §III machinery.
+
+* :mod:`repro.partition.csr` — compressed sparse row graphs and the
+  bipartite→CSR conversion;
+* :mod:`repro.partition.metis` — a from-scratch multilevel k-way
+  partitioner with multi-constraint vertex weights (the METIS stand-in);
+* :mod:`repro.partition.coarsen` / :mod:`repro.partition.initial` /
+  :mod:`repro.partition.refine` — the three multilevel stages;
+* :mod:`repro.partition.roundrobin` — the RR baseline distribution;
+* :mod:`repro.partition.splitloc` — heavy-node splitting preprocessing
+  (§III-C);
+* :mod:`repro.partition.quality` — edge cut, per-partition cut and
+  balance metrics (Figures 2, 14).
+
+The four data-distribution strategies benchmarked in Figure 13 map to:
+
+==============  ==========================================================
+label           construction
+==============  ==========================================================
+RR              :func:`roundrobin.round_robin_partition`
+GP              :func:`metis.partition_bipartite` on the raw graph
+RR-splitLoc     RR after :func:`splitloc.split_heavy_locations`
+GP-splitLoc     GP after :func:`splitloc.split_heavy_locations`
+==============  ==========================================================
+"""
+
+from repro.partition.csr import CSRGraph, bipartite_to_csr
+from repro.partition.metis import MultilevelPartitioner, PartitionerOptions, partition_bipartite
+from repro.partition.roundrobin import round_robin_partition
+from repro.partition.splitloc import SplitResult, split_heavy_locations, split_threshold
+from repro.partition.quality import (
+    BipartitePartition,
+    edge_cut,
+    per_partition_edge_cut,
+    partition_loads,
+    imbalance,
+)
+
+__all__ = [
+    "CSRGraph",
+    "bipartite_to_csr",
+    "MultilevelPartitioner",
+    "PartitionerOptions",
+    "partition_bipartite",
+    "round_robin_partition",
+    "SplitResult",
+    "split_heavy_locations",
+    "split_threshold",
+    "BipartitePartition",
+    "edge_cut",
+    "per_partition_edge_cut",
+    "partition_loads",
+    "imbalance",
+]

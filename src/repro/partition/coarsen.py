@@ -1,0 +1,112 @@
+"""Multilevel coarsening via heavy-edge matching.
+
+Standard METIS-style coarsening (Karypis & Kumar): visit vertices in a
+random order; each unmatched vertex matches its unmatched neighbour
+connected by the heaviest edge (heavy-edge matching maximises the edge
+weight removed from the graph, which keeps cuts visible at coarse
+levels).  Matched pairs contract into one coarse vertex whose weight
+vector is the sum and whose edges merge by weight.
+
+Coarsening stops when the graph is small enough for initial
+partitioning or when matching stalls (common on star-like social
+graphs — a hub's neighbours all want the hub).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.partition.csr import CSRGraph
+
+__all__ = ["CoarseLevel", "heavy_edge_matching", "contract", "coarsen_graph"]
+
+
+@dataclass
+class CoarseLevel:
+    """One level of the multilevel hierarchy."""
+
+    graph: CSRGraph
+    #: fine-vertex -> coarse-vertex map into the *next* (coarser) level.
+    coarse_map: np.ndarray | None = None
+
+
+def heavy_edge_matching(graph: CSRGraph, rng: np.random.Generator) -> np.ndarray:
+    """Return ``match[v]`` = matched partner (or ``v`` if unmatched)."""
+    n = graph.n_vertices
+    match = np.full(n, -1, dtype=np.int64)
+    order = rng.permutation(n)
+    xadj, adjncy, adjwgt = graph.xadj, graph.adjncy, graph.adjwgt
+    for v in order:
+        if match[v] != -1:
+            continue
+        best, best_w = -1, -1
+        for e in range(xadj[v], xadj[v + 1]):
+            u = adjncy[e]
+            if match[u] == -1 and u != v:
+                w = adjwgt[e]
+                if w > best_w:
+                    best, best_w = u, w
+        if best == -1:
+            match[v] = v
+        else:
+            match[v] = best
+            match[best] = v
+    return match
+
+
+def contract(graph: CSRGraph, match: np.ndarray) -> tuple[CSRGraph, np.ndarray]:
+    """Contract matched pairs; return (coarse graph, fine→coarse map)."""
+    n = graph.n_vertices
+    # Number coarse vertices: pair representative = min(v, match[v]).
+    rep = np.minimum(np.arange(n), match)
+    uniq, coarse_map = np.unique(rep, return_inverse=True)
+    nc = uniq.size
+    # Coarse vertex weights.
+    ncon = graph.ncon
+    cvwgt = np.zeros((nc, ncon), dtype=np.int64)
+    np.add.at(cvwgt, coarse_map, graph.vwgt)
+    # Coarse edges: map endpoints, drop intra-pair edges, merge parallels.
+    src = np.repeat(np.arange(n), np.diff(graph.xadj))
+    cu = coarse_map[src]
+    cv = coarse_map[graph.adjncy]
+    keep = cu < cv  # one direction only, drops self (contracted) edges
+    if not keep.any():
+        coarse = CSRGraph(
+            xadj=np.zeros(nc + 1, dtype=np.int64),
+            adjncy=np.empty(0, dtype=np.int64),
+            adjwgt=np.empty(0, dtype=np.int64),
+            vwgt=cvwgt,
+        )
+        return coarse, coarse_map
+    coarse = CSRGraph.from_edge_list(nc, cu[keep], cv[keep], graph.adjwgt[keep], cvwgt)
+    return coarse, coarse_map
+
+
+def coarsen_graph(
+    graph: CSRGraph,
+    rng: np.random.Generator,
+    coarsen_to: int = 200,
+    min_reduction: float = 0.95,
+    max_levels: int = 30,
+) -> list[CoarseLevel]:
+    """Build the multilevel hierarchy; ``levels[0]`` is the input graph.
+
+    Stops when the coarsest graph has ≤ ``coarsen_to`` vertices, when a
+    level shrinks by less than ``1 - min_reduction``, or after
+    ``max_levels`` levels.
+    """
+    levels = [CoarseLevel(graph)]
+    current = graph
+    for _ in range(max_levels):
+        if current.n_vertices <= coarsen_to:
+            break
+        match = heavy_edge_matching(current, rng)
+        coarse, cmap = contract(current, match)
+        if coarse.n_vertices >= current.n_vertices * min_reduction:
+            break
+        levels[-1].coarse_map = cmap
+        levels.append(CoarseLevel(coarse))
+        current = coarse
+    return levels

@@ -1,0 +1,115 @@
+"""Partition quality metrics: cuts, loads, balance.
+
+Implements the quantities the paper evaluates:
+
+* **edge cut** — total weight of edges crossing partitions (the classic
+  partitioner objective, Figure 2b);
+* **per-partition edge cut** — the *maximum* over partitions of the cut
+  weight incident to that partition; the paper's Figure 14 metric,
+  motivated by §VI's observation that minimising total cut does not
+  balance cut across partitions;
+* **partition loads / imbalance** — per-constraint load sums and the
+  max/average ratio, the quantity bounding speedup (§III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.loadmodel.workload import WorkloadModel
+from repro.partition.csr import CSRGraph
+from repro.synthpop.graph import PersonLocationGraph
+
+__all__ = [
+    "BipartitePartition",
+    "csr_edge_cut",
+    "edge_cut",
+    "per_partition_edge_cut",
+    "partition_loads",
+    "imbalance",
+]
+
+
+@dataclass
+class BipartitePartition:
+    """Assignment of persons and locations to ``k`` partitions."""
+
+    person_part: np.ndarray
+    location_part: np.ndarray
+    k: int
+    method: str = ""
+
+    def __post_init__(self) -> None:
+        for arr, name in ((self.person_part, "person"), (self.location_part, "location")):
+            if arr.size and (arr.min() < 0 or arr.max() >= self.k):
+                raise ValueError(f"{name} partition id out of range for k={self.k}")
+
+    def validate_against(self, graph: PersonLocationGraph) -> None:
+        if self.person_part.shape[0] != graph.n_persons:
+            raise ValueError("person_part length mismatch")
+        if self.location_part.shape[0] != graph.n_locations:
+            raise ValueError("location_part length mismatch")
+
+
+def csr_edge_cut(graph: CSRGraph, part: np.ndarray) -> int:
+    """Total cut weight of a CSR partition (each edge counted once)."""
+    src = np.repeat(np.arange(graph.n_vertices), np.diff(graph.xadj))
+    crossing = part[src] != part[graph.adjncy]
+    return int(graph.adjwgt[crossing].sum() // 2)
+
+
+def edge_cut(graph: PersonLocationGraph, partition: BipartitePartition) -> int:
+    """Visit-weighted cut of the bipartite graph under a partition."""
+    p, l, w = graph.bipartite_adjacency()
+    crossing = partition.person_part[p] != partition.location_part[l]
+    return int(w[crossing].sum())
+
+
+def per_partition_edge_cut(
+    graph: PersonLocationGraph, partition: BipartitePartition
+) -> np.ndarray:
+    """Cut weight incident to each partition, shape (k,).
+
+    A crossing edge contributes to both endpoint partitions (each pays
+    the communication).  Figure 14 plots the max of this vector and
+    compares it to the all-remote baseline ``total_edges / k``.
+    """
+    p, l, w = graph.bipartite_adjacency()
+    pp = partition.person_part[p]
+    lp = partition.location_part[l]
+    crossing = pp != lp
+    out = np.zeros(partition.k, dtype=np.int64)
+    np.add.at(out, pp[crossing], w[crossing])
+    np.add.at(out, lp[crossing], w[crossing])
+    return out
+
+
+def partition_loads(
+    graph: PersonLocationGraph,
+    partition: BipartitePartition,
+    workload: WorkloadModel | None = None,
+) -> np.ndarray:
+    """Per-partition, per-constraint load sums, shape (k, 2).
+
+    Constraint 0 = person-phase load, constraint 1 = location-phase
+    load (in the workload model's integer units).
+    """
+    workload = workload or WorkloadModel()
+    out = np.zeros((partition.k, 2), dtype=np.float64)
+    np.add.at(out[:, 0], partition.person_part, workload.person_weights(graph))
+    np.add.at(out[:, 1], partition.location_part, workload.location_weights(graph))
+    return out
+
+
+def imbalance(loads: np.ndarray) -> np.ndarray:
+    """Max/mean ratio per constraint (1.0 = perfectly balanced).
+
+    ``loads`` is the (k, ncon) matrix from :func:`partition_loads`.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    mean = loads.mean(axis=0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(mean > 0, loads.max(axis=0) / np.maximum(mean, 1e-300), 1.0)
+    return ratio

@@ -1,0 +1,187 @@
+"""Fiduccia–Mattheyses boundary refinement for bisections.
+
+After projecting a coarse bisection to a finer level, boundary vertices
+are moved greedily to reduce the cut subject to the multi-constraint
+balance tolerance.  The implementation is lazy-heap FM: gains are
+recomputed at pop time (cheaper than strict bucket updates and accurate
+enough), each vertex moves at most once per pass, and passes repeat
+until no move helps.
+
+A separate :func:`rebalance` pass restores feasibility when projection
+or initial partitioning left a constraint outside tolerance — it moves
+minimum-cut-damage vertices out of the overweight side.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.partition.csr import CSRGraph
+
+__all__ = ["fm_refine", "rebalance", "move_gain", "all_gains"]
+
+
+def move_gain(graph: CSRGraph, part: np.ndarray, v: int) -> int:
+    """Cut reduction if ``v`` switched sides: external − internal weight."""
+    e0, e1 = graph.xadj[v], graph.xadj[v + 1]
+    nbrs = graph.adjncy[e0:e1]
+    wts = graph.adjwgt[e0:e1]
+    same = part[nbrs] == part[v]
+    return int(wts[~same].sum() - wts[same].sum())
+
+
+def all_gains(graph: CSRGraph, part: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`move_gain` for every vertex at once."""
+    n = graph.n_vertices
+    src = np.repeat(np.arange(n), np.diff(graph.xadj))
+    cross = part[src] != part[graph.adjncy]
+    signed = np.where(cross, graph.adjwgt, -graph.adjwgt)
+    return np.bincount(src, weights=signed, minlength=n).astype(np.int64)
+
+
+def _side_weights(graph: CSRGraph, part: np.ndarray) -> np.ndarray:
+    """Shape (2, ncon) weight totals."""
+    w = np.zeros((2, graph.ncon), dtype=np.int64)
+    np.add.at(w, part.astype(np.int64), graph.vwgt)
+    return w
+
+
+def _fits(
+    side_w: np.ndarray, totals: np.ndarray, target_frac: float, ubfactor: float,
+    vw: np.ndarray, src: int,
+) -> bool:
+    """Would moving a vertex with weights ``vw`` from ``src`` keep balance?"""
+    dst = 1 - src
+    frac = target_frac if dst == 0 else 1.0 - target_frac
+    # Plain-Python loop: ncon is tiny (2) and this sits on FM's hot path.
+    for c in range(totals.shape[0]):
+        t = totals[c]
+        if t == 0:
+            continue
+        limit = t * frac * ubfactor
+        w = vw[c]
+        if side_w[dst, c] + w > (limit if limit > w else w):
+            return False
+    return True
+
+
+def fm_refine(
+    graph: CSRGraph,
+    part: np.ndarray,
+    target_frac: float,
+    ubfactor: float = 1.05,
+    max_passes: int = 6,
+) -> np.ndarray:
+    """Refine a bisection in place; returns ``part`` for convenience."""
+    totals = graph.total_vwgt()
+    side_w = _side_weights(graph, part)
+    for _ in range(max_passes):
+        moved_any = False
+        locked = np.zeros(graph.n_vertices, dtype=bool)
+        # Seed the heap with current boundary vertices (gains vectorised).
+        src_ids = np.repeat(np.arange(graph.n_vertices), np.diff(graph.xadj))
+        boundary_mask = part[src_ids] != part[graph.adjncy]
+        boundary = np.unique(src_ids[boundary_mask])
+        gains0 = all_gains(graph, part)
+        heap: list[tuple[int, int]] = [(-int(gains0[v]), int(v)) for v in boundary]
+        heapq.heapify(heap)
+        while heap:
+            neg_g, v = heapq.heappop(heap)
+            if locked[v]:
+                continue
+            g = move_gain(graph, part, v)
+            if g != -neg_g:
+                heapq.heappush(heap, (-g, v))
+                continue
+            if g < 0:
+                break  # heap is sorted: nothing with positive gain remains
+            src = int(part[v])
+            vw = graph.vwgt[v]
+            if g == 0 and not _improves_balance(side_w, totals, target_frac, vw, src):
+                locked[v] = True
+                continue
+            if not _fits(side_w, totals, target_frac, ubfactor, vw, src):
+                locked[v] = True
+                continue
+            part[v] = 1 - src
+            side_w[src] -= vw
+            side_w[1 - src] += vw
+            locked[v] = True
+            moved_any = True
+            for e in range(graph.xadj[v], graph.xadj[v + 1]):
+                u = int(graph.adjncy[e])
+                if not locked[u]:
+                    heapq.heappush(heap, (-move_gain(graph, part, u), u))
+        if not moved_any:
+            break
+    return part
+
+
+def _improves_balance(
+    side_w: np.ndarray, totals: np.ndarray, target_frac: float, vw: np.ndarray, src: int
+) -> bool:
+    """Does moving vw off ``src`` reduce the worst constraint imbalance?"""
+    tgt = (target_frac, 1.0 - target_frac)
+    dst = 1 - src
+    before = after = 0.0
+    for c in range(totals.shape[0]):
+        t = totals[c]
+        if t == 0:
+            continue
+        for side in (0, 1):
+            b = abs(side_w[side, c] / t - tgt[side])
+            w = side_w[side, c] + (vw[c] if side == dst else -vw[c])
+            a = abs(w / t - tgt[side])
+            if b > before:
+                before = b
+            if a > after:
+                after = a
+    return after < before
+
+
+def rebalance(
+    graph: CSRGraph,
+    part: np.ndarray,
+    target_frac: float,
+    ubfactor: float = 1.05,
+) -> np.ndarray:
+    """Force the bisection inside tolerance, minimising cut damage.
+
+    Repeatedly moves the highest-gain vertex out of the side that most
+    exceeds its limit, until all constraints fit (or no movable vertex
+    remains — possible when one vertex alone exceeds a side's limit,
+    which is exactly the heavy-node pathology splitLoc addresses).
+    """
+    totals = graph.total_vwgt()
+    side_w = _side_weights(graph, part)
+    limits = np.stack(
+        [totals * target_frac * ubfactor, totals * (1.0 - target_frac) * ubfactor]
+    )
+    for _ in range(64):
+        over = side_w.astype(np.float64) - limits
+        over[:, totals == 0] = -1.0
+        if np.all(over <= 0):
+            break
+        src = int(np.argmax(over.max(axis=1)))
+        worst_con = int(np.argmax(over[src]))
+        candidates = np.flatnonzero((part == src) & (graph.vwgt[:, worst_con] > 0))
+        if candidates.size == 0:
+            break
+        # Move a batch of best-gain candidates (gains go stale within
+        # the batch — acceptable: rebalance trades cut for feasibility).
+        gains = all_gains(graph, part)[candidates]
+        order = candidates[np.argsort(-gains, kind="stable")]
+        moved = False
+        for v in order:
+            if side_w[src, worst_con] <= limits[src, worst_con]:
+                break
+            v = int(v)
+            part[v] = 1 - src
+            side_w[src] -= graph.vwgt[v]
+            side_w[1 - src] += graph.vwgt[v]
+            moved = True
+        if not moved:
+            break
+    return part

@@ -1,0 +1,246 @@
+"""Heavy-node splitting — the paper's §III-C preprocessing.
+
+Locations with heavy-tailed loads bound achievable speedup at
+``L_tot / l_max`` no matter how good the partitioner is (§III-B).  The
+fix: exploit *sublocations*.  People only interact within a
+sublocation, so a heavy location can split into several locations each
+owning an exclusive subset of its sublocations — dividing both load and
+communication without adding edges (Figure 6a).
+
+Following the paper:
+
+* the **sublocation weight** is a platform-independent approximation —
+  the average number of visits per sublocation, estimated per location
+  type from the largest location of that type;
+* the **location weight** sums its sublocations' weights;
+* the **threshold** derives from the total load, the maximum number of
+  partitions the graph will be cut into, and the largest sublocation
+  weight (a location cannot split below one sublocation);
+* locations above threshold split **as evenly as possible**.
+
+Two split modes mirror Figure 6: ``"divide"`` assigns sublocations
+exclusively (no new dependencies; the default and the mode used for
+simulation); ``"retain"`` models the future-work inter-sublocation
+mixing case by splitting visits across pieces regardless of
+sublocation, which divides the susceptible side while requiring the
+infectious side to be replicated — the replication is surfaced as
+``coupling_pairs`` for cost analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.synthpop.graph import PersonLocationGraph
+
+__all__ = ["SplitResult", "split_threshold", "sublocation_type_weights", "split_heavy_locations"]
+
+
+@dataclass
+class SplitResult:
+    """Outcome of the preprocessing pass."""
+
+    graph: PersonLocationGraph
+    #: original location id for every (new) location, shape (n_new_locations,)
+    origin: np.ndarray
+    #: how many locations were split
+    n_split: int
+    #: threshold used (visits units)
+    threshold: float
+    #: number of split-piece pairs that share state in "retain" mode (0 for "divide")
+    coupling_pairs: int = 0
+
+    @property
+    def pieces_per_original(self) -> np.ndarray:
+        """Piece count per original location id."""
+        return np.bincount(self.origin, minlength=int(self.origin.max()) + 1)
+
+
+def sublocation_type_weights(graph: PersonLocationGraph) -> np.ndarray:
+    """Average visits per sublocation, per location type.
+
+    The paper determines each type's weight from the largest locations
+    of that type (largest by sublocation count); we follow suit.
+    """
+    counts = graph.location_visit_counts
+    n_types = int(graph.location_type.max()) + 1
+    weights = np.zeros(n_types, dtype=np.float64)
+    for t in range(n_types):
+        locs = np.flatnonzero(graph.location_type == t)
+        if locs.size == 0:
+            weights[t] = 1.0
+            continue
+        biggest = locs[np.argmax(graph.location_n_sublocs[locs])]
+        nsub = max(1, int(graph.location_n_sublocs[biggest]))
+        weights[t] = max(1.0, counts[biggest] / nsub)
+    return weights
+
+
+def location_weights(
+    graph: PersonLocationGraph, subloc_weights: np.ndarray | None = None
+) -> np.ndarray:
+    """Per-location weight = Σ of its sublocations' type weights.
+
+    ``subloc_weights`` overrides the type-weight estimation — pass the
+    weights estimated on an earlier graph to keep repeated
+    preprocessing passes consistent.
+    """
+    tw = subloc_weights if subloc_weights is not None else sublocation_type_weights(graph)
+    return graph.location_n_sublocs.astype(np.float64) * tw[graph.location_type]
+
+
+def split_threshold(graph: PersonLocationGraph, max_partitions: int, slack: float = 1.0) -> float:
+    """The paper's threshold rule.
+
+    ``max(total_weight / max_partitions, largest sublocation weight) ×
+    slack`` — splitting finer than one sublocation is impossible, and
+    splitting below the per-partition share gains nothing.
+    """
+    if max_partitions < 1:
+        raise ValueError("max_partitions must be >= 1")
+    w = location_weights(graph)
+    tw = sublocation_type_weights(graph)
+    return max(float(w.sum()) / max_partitions, float(tw.max())) * slack
+
+
+def split_heavy_locations(
+    graph: PersonLocationGraph,
+    max_partitions: int | None = None,
+    threshold: float | None = None,
+    mode: str = "divide",
+    subloc_weights: np.ndarray | None = None,
+) -> SplitResult:
+    """Split locations heavier than the threshold.
+
+    Parameters
+    ----------
+    graph:
+        Input person–location graph.
+    max_partitions:
+        Largest partition count the graph should support; used to derive
+        the threshold when ``threshold`` is not given.
+    threshold:
+        Explicit weight threshold (visits units); overrides the rule.
+    mode:
+        ``"divide"`` (sublocation-exclusive pieces, Figure 6a) or
+        ``"retain"`` (visit-level split modelling Figure 6b).
+    subloc_weights:
+        Explicit per-type sublocation weights; defaults to estimating
+        them from ``graph`` (the paper's procedure).  Pass the weights
+        from an earlier pass to make repeated splitting consistent.
+    """
+    if mode not in ("divide", "retain"):
+        raise ValueError(f"unknown split mode {mode!r}")
+    if threshold is None:
+        if max_partitions is None:
+            raise ValueError("give either max_partitions or threshold")
+        threshold = split_threshold(graph, max_partitions)
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+
+    w = location_weights(graph, subloc_weights)
+    heavy = np.flatnonzero(w > threshold)
+    if heavy.size == 0:
+        return SplitResult(
+            graph=graph,
+            origin=np.arange(graph.n_locations, dtype=np.int64),
+            n_split=0,
+            threshold=threshold,
+        )
+
+    n_sublocs = graph.location_n_sublocs.astype(np.int64)
+    pieces = np.ones(graph.n_locations, dtype=np.int64)
+    if mode == "divide":
+        # Sublocations are indivisible, so a piece of k sublocations
+        # weighs k × w_subloc: the piece count must satisfy
+        # ceil(n_sublocs / pieces) × w_subloc <= threshold, i.e.
+        # pieces >= n_sublocs / floor(threshold / w_subloc).
+        tw = (
+            subloc_weights
+            if subloc_weights is not None
+            else sublocation_type_weights(graph)
+        )
+        per_subloc = tw[graph.location_type[heavy]]
+        max_sublocs_per_piece = np.maximum(
+            1, np.floor(threshold / np.maximum(per_subloc, 1e-12))
+        ).astype(np.int64)
+        want = np.ceil(n_sublocs[heavy] / max_sublocs_per_piece).astype(np.int64)
+        pieces[heavy] = np.minimum(want, np.maximum(n_sublocs[heavy], 1))
+    else:
+        # Visit-level splitting is not bounded by sublocation count.
+        pieces[heavy] = np.maximum(np.ceil(w[heavy] / threshold).astype(np.int64), 1)
+    actually_split = np.flatnonzero(pieces > 1)
+
+    # New location numbering: piece 0 keeps the original id; pieces 1..
+    # append after the original locations, grouped per original.
+    extra = pieces - 1
+    extra_base = graph.n_locations + np.concatenate([[0], np.cumsum(extra)])[:-1]
+    n_new_locations = graph.n_locations + int(extra.sum())
+
+    origin = np.empty(n_new_locations, dtype=np.int64)
+    origin[: graph.n_locations] = np.arange(graph.n_locations)
+    for loc in actually_split:
+        b = extra_base[loc]
+        origin[b : b + extra[loc]] = loc
+
+    # Route each visit to its piece and renumber its sublocation.
+    visit_loc = graph.visit_location.copy()
+    visit_sub = graph.visit_subloc.astype(np.int64).copy()
+    new_n_sublocs = np.empty(n_new_locations, dtype=np.int64)
+    new_n_sublocs[: graph.n_locations] = n_sublocs
+    new_type = np.empty(n_new_locations, dtype=graph.location_type.dtype)
+    new_type[: graph.n_locations] = graph.location_type
+    coupling_pairs = 0
+
+    loc_order, loc_ptr = graph.location_visit_index()
+    for loc in actually_split:
+        p = int(pieces[loc])
+        rows = loc_order[loc_ptr[loc] : loc_ptr[loc + 1]]
+        if mode == "divide":
+            ns = int(n_sublocs[loc])
+            # Contiguous, maximally even chunks of sublocation ids.
+            bounds = (np.arange(p + 1) * ns) // p
+            piece_of_subloc = np.searchsorted(bounds, np.arange(ns), side="right") - 1
+            sub_base = bounds  # first subloc id of each piece
+            vpiece = piece_of_subloc[visit_sub[rows]]
+            visit_sub[rows] = visit_sub[rows] - sub_base[vpiece]
+            sizes = np.diff(bounds)
+        else:
+            # Round-robin visits over pieces; each piece keeps one
+            # synthetic sublocation, and every piece pair shares the
+            # original's infectious state (the replication coupling).
+            vpiece = np.arange(rows.size, dtype=np.int64) % p
+            visit_sub[rows] = 0
+            sizes = np.ones(p, dtype=np.int64)
+            coupling_pairs += p * (p - 1) // 2
+        new_ids = np.concatenate([[loc], extra_base[loc] + np.arange(p - 1)])
+        visit_loc[rows] = new_ids[vpiece]
+        new_n_sublocs[new_ids] = np.maximum(sizes, 1)
+        new_type[new_ids] = graph.location_type[loc]
+
+    new_graph = graph.with_visits(
+        graph.visit_person,
+        visit_loc,
+        visit_sub.astype(graph.visit_subloc.dtype),
+        graph.visit_start,
+        graph.visit_end,
+        n_locations=n_new_locations,
+        location_n_sublocs=new_n_sublocs.astype(np.int32),
+        location_type=new_type,
+        location_region=(
+            graph.location_region[origin] if graph.location_region is not None else None
+        ),
+        name=f"{graph.name}+split",
+    )
+    # person_home may now point at a split home building's piece 0 — the
+    # id is unchanged, so the reference stays valid.
+    new_graph.validate()
+    return SplitResult(
+        graph=new_graph,
+        origin=origin,
+        n_split=int(actually_split.size),
+        threshold=threshold,
+        coupling_pairs=coupling_pairs,
+    )

@@ -1,0 +1,42 @@
+"""Synthetic person–location populations.
+
+EpiSimdemics consumes bipartite *person–location* graphs whose edges are
+timed visits (Section II-A of the paper).  The originals are proprietary
+census-derived populations; this package generates synthetic equivalents
+that match the statistics the paper reports:
+
+* mean person degree ≈ 5.5 visits/day with σ ≈ 2.6,
+* mean location degree ≈ 21.5 visits/day,
+* heavy-tailed (power-law) location in-degree distribution,
+* locations composed of sublocations (rooms/classrooms/floors) that
+  carry the splittable parallelism exploited by ``splitLoc``.
+
+See DESIGN.md §2 for why matching these distributions preserves the
+paper's scaling phenomena.
+"""
+
+from repro.synthpop.graph import PersonLocationGraph, LocationType
+from repro.synthpop.powerlaw import bounded_zipf_sample, pareto_attractiveness
+from repro.synthpop.generator import PopulationConfig, generate_population
+from repro.synthpop.states import (
+    STATE_PRESETS,
+    StatePreset,
+    state_population,
+    synthetic_state_sweep,
+)
+from repro.synthpop.io import save_population, load_population
+
+__all__ = [
+    "PersonLocationGraph",
+    "LocationType",
+    "PopulationConfig",
+    "generate_population",
+    "STATE_PRESETS",
+    "StatePreset",
+    "state_population",
+    "synthetic_state_sweep",
+    "bounded_zipf_sample",
+    "pareto_attractiveness",
+    "save_population",
+    "load_population",
+]

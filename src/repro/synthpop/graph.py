@@ -1,0 +1,293 @@
+"""The bipartite person–location visit graph.
+
+This is the central data structure of the reproduction.  A
+:class:`PersonLocationGraph` stores one *normative day* of visits as flat
+NumPy arrays (structure-of-arrays, per the HPC guide's vectorisation
+idiom), plus CSR-style indexes for iterating by person and by location.
+
+Degrees and loads used throughout the paper:
+
+* **person degree** — number of visits a person makes (avg 5.5); equals
+  the number of "visit" messages the person generates, which is the
+  person-phase load model (Section III-A).
+* **location in-degree** — number of *unique visitors*; the paper's
+  Figure 3(c) statistic, strongly correlated with the number of
+  arrive/depart events.
+* **location visit count** — number of visit edges incident to a
+  location (2 events each), the input to the static load model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+__all__ = ["LocationType", "PersonLocationGraph", "MINUTES_PER_DAY"]
+
+#: Simulated minutes in one time step (one simulation day).
+MINUTES_PER_DAY = 1440
+
+
+class LocationType(enum.IntEnum):
+    """Coarse activity types; interventions act on these."""
+
+    HOME = 0
+    WORK = 1
+    SCHOOL = 2
+    SHOP = 3
+    OTHER = 4
+
+
+@dataclass
+class PersonLocationGraph:
+    """One day of visits in structure-of-arrays form.
+
+    All visit arrays have equal length ``n_visits`` and are sorted by
+    ``(visit_person, visit_start)``.  Invariants are checked by
+    :meth:`validate`; generators and the splitLoc preprocessor must
+    leave the structure valid.
+
+    Parameters
+    ----------
+    name:
+        Human-readable dataset label (e.g. ``"CA@0.001"``).
+    n_persons, n_locations:
+        Node counts of the two bipartite sides.
+    visit_person, visit_location:
+        Endpoint ids per visit edge.
+    visit_subloc:
+        Sublocation index *within* the visited location,
+        ``0 <= visit_subloc[i] < location_n_sublocs[visit_location[i]]``.
+    visit_start, visit_end:
+        Visit interval in minutes, ``0 <= start < end <= 1440``.
+    location_n_sublocs:
+        Number of sublocations per location (≥ 1).
+    location_type:
+        :class:`LocationType` value per location.
+    person_age:
+        Age in years per person (drives school/work assignment and can
+        modulate susceptibility).
+    person_home:
+        Home location id per person.
+    """
+
+    name: str
+    n_persons: int
+    n_locations: int
+    visit_person: np.ndarray
+    visit_location: np.ndarray
+    visit_subloc: np.ndarray
+    visit_start: np.ndarray
+    visit_end: np.ndarray
+    location_n_sublocs: np.ndarray
+    location_type: np.ndarray
+    person_age: np.ndarray
+    person_home: np.ndarray
+    #: Optional geographic region per person / location (None = no
+    #: regional structure).  Regions give the graph the spatial
+    #: community structure of real populations: most visits stay local,
+    #: which is what gives graph partitioning its locality to exploit.
+    person_region: np.ndarray | None = None
+    location_region: np.ndarray | None = None
+    # Lazily built CSR indexes (by-person and by-location views).
+    _person_ptr: np.ndarray | None = field(default=None, repr=False)
+    _loc_order: np.ndarray | None = field(default=None, repr=False)
+    _loc_ptr: np.ndarray | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n_visits(self) -> int:
+        """Number of visit edges."""
+        return int(self.visit_person.shape[0])
+
+    @property
+    def person_degrees(self) -> np.ndarray:
+        """Visits per person (the person-phase message count)."""
+        return np.bincount(self.visit_person, minlength=self.n_persons)
+
+    @property
+    def location_visit_counts(self) -> np.ndarray:
+        """Visit edges per location (2 DES events each)."""
+        return np.bincount(self.visit_location, minlength=self.n_locations)
+
+    def location_in_degrees(self) -> np.ndarray:
+        """Unique visitors per location — the paper's Figure 3(c) metric."""
+        pairs = np.unique(
+            self.visit_location.astype(np.int64) * self.n_persons
+            + self.visit_person.astype(np.int64)
+        )
+        return np.bincount(pairs // self.n_persons, minlength=self.n_locations)
+
+    # ------------------------------------------------------------------
+    # CSR indexes
+    # ------------------------------------------------------------------
+    def person_visit_slices(self) -> np.ndarray:
+        """CSR pointer over visits grouped by person.
+
+        ``visits of person p`` are rows ``ptr[p]:ptr[p+1]`` (the visit
+        arrays are already person-sorted).
+        """
+        if self._person_ptr is None:
+            counts = self.person_degrees
+            ptr = np.zeros(self.n_persons + 1, dtype=np.int64)
+            np.cumsum(counts, out=ptr[1:])
+            self._person_ptr = ptr
+        return self._person_ptr
+
+    def location_visit_index(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(order, ptr)`` grouping visit rows by location.
+
+        ``order[ptr[l]:ptr[l+1]]`` are the visit row indices incident to
+        location ``l``, sorted by location then by start time — exactly
+        the order in which a LocationManager receives and enqueues them.
+        """
+        if self._loc_order is None:
+            key = self.visit_location.astype(np.int64) * (MINUTES_PER_DAY + 1) + self.visit_start
+            order = np.argsort(key, kind="stable")
+            counts = self.location_visit_counts
+            ptr = np.zeros(self.n_locations + 1, dtype=np.int64)
+            np.cumsum(counts, out=ptr[1:])
+            self._loc_order = order
+            self._loc_ptr = ptr
+        return self._loc_order, self._loc_ptr
+
+    def invalidate_indexes(self) -> None:
+        """Drop cached CSR indexes after in-place mutation."""
+        self._person_ptr = None
+        self._loc_order = None
+        self._loc_ptr = None
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check all structural invariants; raise ``ValueError`` on breakage."""
+        nv = self.n_visits
+        for arr_name in ("visit_location", "visit_subloc", "visit_start", "visit_end"):
+            arr = getattr(self, arr_name)
+            if arr.shape[0] != nv:
+                raise ValueError(f"{arr_name} has length {arr.shape[0]}, expected {nv}")
+        if self.location_n_sublocs.shape[0] != self.n_locations:
+            raise ValueError("location_n_sublocs length mismatch")
+        if self.location_type.shape[0] != self.n_locations:
+            raise ValueError("location_type length mismatch")
+        if self.person_age.shape[0] != self.n_persons:
+            raise ValueError("person_age length mismatch")
+        if self.person_home.shape[0] != self.n_persons:
+            raise ValueError("person_home length mismatch")
+        if nv:
+            if self.visit_person.min() < 0 or self.visit_person.max() >= self.n_persons:
+                raise ValueError("visit_person out of range")
+            if self.visit_location.min() < 0 or self.visit_location.max() >= self.n_locations:
+                raise ValueError("visit_location out of range")
+            if np.any(self.visit_start < 0) or np.any(self.visit_end > MINUTES_PER_DAY):
+                raise ValueError("visit interval outside [0, 1440]")
+            if np.any(self.visit_end <= self.visit_start):
+                raise ValueError("visit with non-positive duration")
+            if np.any(self.visit_subloc < 0) or np.any(
+                self.visit_subloc >= self.location_n_sublocs[self.visit_location]
+            ):
+                raise ValueError("visit_subloc out of range for its location")
+            if np.any(np.diff(self.visit_person) < 0):
+                raise ValueError("visit arrays are not sorted by person")
+        if np.any(self.location_n_sublocs < 1):
+            raise ValueError("every location needs at least one sublocation")
+        if self.n_persons and (
+            self.person_home.min() < 0 or self.person_home.max() >= self.n_locations
+        ):
+            raise ValueError("person_home out of range")
+        if (self.person_region is None) != (self.location_region is None):
+            raise ValueError("person_region and location_region must both be set or unset")
+        if self.person_region is not None:
+            if self.person_region.shape[0] != self.n_persons:
+                raise ValueError("person_region length mismatch")
+            if self.location_region.shape[0] != self.n_locations:
+                raise ValueError("location_region length mismatch")
+
+    # ------------------------------------------------------------------
+    # summaries & transforms
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Table-I style summary row."""
+        deg = self.person_degrees
+        return {
+            "name": self.name,
+            "visits": self.n_visits,
+            "people": self.n_persons,
+            "locations": self.n_locations,
+            "person_degree_mean": float(deg.mean()) if self.n_persons else 0.0,
+            "person_degree_std": float(deg.std()) if self.n_persons else 0.0,
+            "location_degree_mean": (
+                float(self.n_visits / self.n_locations) if self.n_locations else 0.0
+            ),
+        }
+
+    def with_visits(
+        self,
+        visit_person: np.ndarray,
+        visit_location: np.ndarray,
+        visit_subloc: np.ndarray,
+        visit_start: np.ndarray,
+        visit_end: np.ndarray,
+        *,
+        n_locations: int | None = None,
+        location_n_sublocs: np.ndarray | None = None,
+        location_type: np.ndarray | None = None,
+        location_region: np.ndarray | None = None,
+        name: str | None = None,
+    ) -> "PersonLocationGraph":
+        """Functional update returning a new graph with replaced visit/location arrays.
+
+        Re-sorts visits by (person, start) so the CSR invariant holds.
+        Used by splitLoc and by interventions that rewrite schedules.
+        Callers that change ``n_locations`` on a regional graph must
+        supply the new ``location_region``.
+        """
+        order = np.lexsort((visit_start, visit_person))
+        new_n_locations = self.n_locations if n_locations is None else int(n_locations)
+        new_loc_region = self.location_region if location_region is None else location_region
+        if (
+            new_loc_region is not None
+            and new_loc_region.shape[0] != new_n_locations
+        ):
+            raise ValueError(
+                "location count changed on a regional graph: pass location_region"
+            )
+        g = replace(
+            self,
+            name=self.name if name is None else name,
+            n_locations=new_n_locations,
+            location_region=new_loc_region,
+            visit_person=np.ascontiguousarray(visit_person[order]),
+            visit_location=np.ascontiguousarray(visit_location[order]),
+            visit_subloc=np.ascontiguousarray(visit_subloc[order]),
+            visit_start=np.ascontiguousarray(visit_start[order]),
+            visit_end=np.ascontiguousarray(visit_end[order]),
+            location_n_sublocs=(
+                self.location_n_sublocs if location_n_sublocs is None else location_n_sublocs
+            ),
+            location_type=self.location_type if location_type is None else location_type,
+            _person_ptr=None,
+            _loc_order=None,
+            _loc_ptr=None,
+        )
+        return g
+
+    def bipartite_adjacency(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Collapse visits to a weighted bipartite edge list.
+
+        Returns ``(person_ids, location_ids, weights)`` where weight is
+        the number of visits on that (person, location) pair — the edge
+        weight handed to the graph partitioner.
+        """
+        key = self.visit_person.astype(np.int64) * self.n_locations + self.visit_location
+        uniq, counts = np.unique(key, return_counts=True)
+        return (
+            (uniq // self.n_locations).astype(np.int64),
+            (uniq % self.n_locations).astype(np.int64),
+            counts.astype(np.int64),
+        )

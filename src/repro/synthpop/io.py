@@ -1,0 +1,81 @@
+"""Population graph persistence (compressed ``.npz``).
+
+Population synthesis for the larger experiment scales takes seconds to
+minutes, so the benchmark harness caches generated graphs on disk.  The
+format is a single ``numpy.savez_compressed`` archive holding every
+array plus a small JSON header for scalars — readable without this
+package if needed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.synthpop.graph import PersonLocationGraph
+
+__all__ = ["save_population", "load_population"]
+
+_FORMAT_VERSION = 1
+
+
+def save_population(graph: PersonLocationGraph, path: str | Path) -> None:
+    """Write ``graph`` to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "name": graph.name,
+        "n_persons": graph.n_persons,
+        "n_locations": graph.n_locations,
+    }
+    arrays = dict(
+        header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        visit_person=graph.visit_person,
+        visit_location=graph.visit_location,
+        visit_subloc=graph.visit_subloc,
+        visit_start=graph.visit_start,
+        visit_end=graph.visit_end,
+        location_n_sublocs=graph.location_n_sublocs,
+        location_type=graph.location_type,
+        person_age=graph.person_age,
+        person_home=graph.person_home,
+    )
+    if graph.person_region is not None:
+        arrays["person_region"] = graph.person_region
+        arrays["location_region"] = graph.location_region
+    np.savez_compressed(path, **arrays)
+
+
+def load_population(path: str | Path) -> PersonLocationGraph:
+    """Read a graph previously written by :func:`save_population`."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(".npz").exists():
+        path = path.with_suffix(".npz")
+    with np.load(path) as data:
+        header = json.loads(bytes(data["header"].tobytes()).decode("utf-8"))
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported population format version {header.get('format_version')!r}"
+            )
+        graph = PersonLocationGraph(
+            name=header["name"],
+            n_persons=int(header["n_persons"]),
+            n_locations=int(header["n_locations"]),
+            visit_person=data["visit_person"],
+            visit_location=data["visit_location"],
+            visit_subloc=data["visit_subloc"],
+            visit_start=data["visit_start"],
+            visit_end=data["visit_end"],
+            location_n_sublocs=data["location_n_sublocs"],
+            location_type=data["location_type"],
+            person_age=data["person_age"],
+            person_home=data["person_home"],
+            person_region=data["person_region"] if "person_region" in data else None,
+            location_region=(
+                data["location_region"] if "location_region" in data else None
+            ),
+        )
+    graph.validate()
+    return graph

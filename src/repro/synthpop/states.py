@@ -1,0 +1,144 @@
+"""State presets matching the paper's Table I, plus a 49-state sweep.
+
+Table I of the paper lists visits / people / locations for the US and
+seven states derived from a 2009 American Community Survey.  We embed
+those counts verbatim and expose them at a configurable ``scale`` so a
+laptop-sized reproduction keeps the *ratios* (visits/person ≈ 5.5,
+visits/location ≈ 21.5) while shrinking absolute size.
+
+Figure 5 plots one dot per contiguous state + DC (49 in total); only
+seven appear in Table I, so :func:`synthetic_state_sweep` fills in the
+remaining sizes from the real 2009 ACS state populations (public data,
+embedded below) to reproduce the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.synthpop.generator import PopulationConfig, generate_population
+from repro.synthpop.graph import PersonLocationGraph
+from repro.util.rng import RngFactory
+
+__all__ = ["StatePreset", "STATE_PRESETS", "state_population", "synthetic_state_sweep",
+           "STATE_POPULATIONS_2009"]
+
+
+@dataclass(frozen=True)
+class StatePreset:
+    """A Table-I row: full-scale counts for one region."""
+
+    name: str
+    visits: int
+    people: int
+    locations: int
+
+    @property
+    def visits_per_person(self) -> float:
+        return self.visits / self.people
+
+    @property
+    def visits_per_location(self) -> float:
+        return self.visits / self.locations
+
+
+#: Table I of the paper, verbatim.
+STATE_PRESETS: dict[str, StatePreset] = {
+    "US": StatePreset("US", 1_541_367_574, 280_397_680, 71_705_723),
+    "CA": StatePreset("CA", 183_858_275, 33_588_339, 7_178_611),
+    "NY": StatePreset("NY", 98_350_857, 17_910_467, 4_719_921),
+    "MI": StatePreset("MI", 52_534_554, 9_541_140, 2_490_068),
+    "NC": StatePreset("NC", 47_130_620, 8_541_564, 2_289_167),
+    "IA": StatePreset("IA", 15_280_731, 2_766_716, 748_239),
+    "AR": StatePreset("AR", 14_803_256, 2_685_280, 739_507),
+    "WY": StatePreset("WY", 2_756_411, 499_514, 144_369),
+}
+
+#: 2009 population estimates for the 48 contiguous states + DC (thousands),
+#: used to size the Figure-5 sweep.  Source: US Census Bureau 2009 estimates.
+STATE_POPULATIONS_2009: dict[str, int] = {
+    "AL": 4_709, "AZ": 6_596, "AR": 2_889, "CA": 36_962, "CO": 5_025,
+    "CT": 3_518, "DE": 885, "DC": 600, "FL": 18_538, "GA": 9_829,
+    "ID": 1_546, "IL": 12_910, "IN": 6_423, "IA": 3_008, "KS": 2_819,
+    "KY": 4_314, "LA": 4_492, "ME": 1_318, "MD": 5_699, "MA": 6_594,
+    "MI": 9_970, "MN": 5_266, "MS": 2_952, "MO": 5_988, "MT": 975,
+    "NE": 1_797, "NV": 2_643, "NH": 1_325, "NJ": 8_708, "NM": 2_010,
+    "NY": 19_541, "NC": 9_381, "ND": 647, "OH": 11_543, "OK": 3_687,
+    "OR": 3_826, "PA": 12_605, "RI": 1_053, "SC": 4_561, "SD": 812,
+    "TN": 6_296, "TX": 24_782, "UT": 2_785, "VT": 622, "VA": 7_883,
+    "WA": 6_664, "WV": 1_820, "WI": 5_655, "WY": 544,
+}
+
+
+def state_population(
+    state: str,
+    scale: float = 1e-3,
+    seed: int | RngFactory = 0,
+    **config_overrides,
+) -> PersonLocationGraph:
+    """Generate a scaled synthetic population for a Table-I state.
+
+    Parameters
+    ----------
+    state:
+        One of the Table-I keys (``"US"``, ``"CA"``, ... ``"WY"``).
+    scale:
+        Fraction of the real population to synthesise.  The default
+        1/1000 turns California into ~33.6K persons — large enough to
+        exhibit the heavy tail, small enough for CI.
+    seed:
+        Root seed or factory; the state index is mixed in so different
+        states get independent streams under the same root seed.
+    config_overrides:
+        Extra :class:`PopulationConfig` fields (e.g. a different
+        ``attractiveness_beta``).
+    """
+    if state not in STATE_PRESETS:
+        raise KeyError(f"unknown state {state!r}; choose from {sorted(STATE_PRESETS)}")
+    preset = STATE_PRESETS[state]
+    n = max(50, int(round(preset.people * scale)))
+    factory = seed if isinstance(seed, RngFactory) else RngFactory(seed)
+    # Derive a state-specific sub-factory so CA@seed0 != NY@seed0.
+    sub = RngFactory(factory.seed(RngFactory.SYNTHPOP, _state_key(state)))
+    cfg = PopulationConfig(
+        n_persons=n,
+        mean_visits=preset.visits_per_person,
+        location_degree_mean=preset.visits_per_location,
+        **config_overrides,
+    )
+    return generate_population(cfg, sub, name=f"{state}@{scale:g}")
+
+
+def synthetic_state_sweep(
+    scale: float = 1e-4,
+    seed: int = 0,
+    **config_overrides,
+) -> dict[str, PersonLocationGraph]:
+    """Generate all 48 contiguous states + DC at the given scale.
+
+    Used by the Figure-5 reproduction (one dot per state).  States in
+    Table I use their exact Table-I ratios; the rest use the US-wide
+    ratios with their 2009 census population.
+    """
+    out: dict[str, PersonLocationGraph] = {}
+    us = STATE_PRESETS["US"]
+    factory = RngFactory(seed)
+    for state, pop_thousands in STATE_POPULATIONS_2009.items():
+        if state in STATE_PRESETS:
+            out[state] = state_population(state, scale=scale, seed=factory, **config_overrides)
+            continue
+        n = max(50, int(round(pop_thousands * 1000 * scale)))
+        sub = RngFactory(factory.seed(RngFactory.SYNTHPOP, _state_key(state)))
+        cfg = PopulationConfig(
+            n_persons=n,
+            mean_visits=us.visits_per_person,
+            location_degree_mean=us.visits_per_location,
+            **config_overrides,
+        )
+        out[state] = generate_population(cfg, sub, name=f"{state}@{scale:g}")
+    return out
+
+
+def _state_key(state: str) -> int:
+    """Stable small integer key for a state code."""
+    return int.from_bytes(state.encode("ascii"), "little")

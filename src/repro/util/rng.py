@@ -1,0 +1,119 @@
+"""Deterministic, hierarchical random-number streams.
+
+The simulator needs randomness that is independent of *execution order*:
+whether persons are processed sequentially, by chare, or across simulated
+PEs, person ``p`` on day ``d`` must see the same draws.  We achieve this by
+deriving a child seed from ``(root_seed, *keys)`` with a stable integer
+hash and constructing a fresh :class:`numpy.random.Generator` per keyed
+stream.  Stream construction is cheap (~1 microsecond) relative to the
+work done per stream (a day's worth of draws for one entity).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["derive_seed", "spawn_generator", "RngFactory"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(root_seed: int, *keys: int) -> int:
+    """Derive a 64-bit child seed from a root seed and integer keys.
+
+    Uses BLAKE2b over the little-endian packed key tuple, which gives
+    high-quality avalanche behaviour (SplitMix-style multiplicative
+    mixing showed detectable correlations between (p, d) and (p+1, d-1)
+    streams in early testing).
+
+    Parameters
+    ----------
+    root_seed:
+        The experiment-level seed.
+    keys:
+        Any number of non-negative integers identifying the stream,
+        e.g. ``(day, person_id)``.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(int(root_seed).to_bytes(8, "little", signed=False))
+    for k in keys:
+        h.update(int(k).to_bytes(8, "little", signed=True))
+    return int.from_bytes(h.digest(), "little") & _MASK64
+
+
+def spawn_generator(root_seed: int, *keys: int) -> np.random.Generator:
+    """Construct a :class:`numpy.random.Generator` for a keyed stream."""
+    return np.random.Generator(np.random.PCG64(derive_seed(root_seed, *keys)))
+
+
+class RngFactory:
+    """Factory producing keyed generators below a fixed root seed.
+
+    A factory is shared by a whole simulation run; components ask for
+    ``factory.stream(*keys)`` with their own stable key prefix.  Key
+    prefixes in use across the codebase (kept unique by convention):
+
+    ==========  =====================================================
+    prefix      component
+    ==========  =====================================================
+    ``0``       population synthesis
+    ``1``       per-(day, person) health/behaviour draws
+    ``2``       per-(day, location) transmission draws
+    ``3``       intervention triggers
+    ``4``       partitioner tie-breaking
+    ``5``       machine/network jitter
+    ==========  =====================================================
+    """
+
+    #: Key-prefix constants (see class docstring).
+    SYNTHPOP = 0
+    PERSON = 1
+    LOCATION = 2
+    INTERVENTION = 3
+    PARTITION = 4
+    MACHINE = 5
+
+    def __init__(self, root_seed: int = 0):
+        if not isinstance(root_seed, (int, np.integer)):
+            raise TypeError(f"root_seed must be an integer, got {type(root_seed).__name__}")
+        self.root_seed = int(root_seed)
+
+    def seed(self, *keys: int) -> int:
+        """Derived child seed for ``keys``."""
+        return derive_seed(self.root_seed, *keys)
+
+    def stream(self, *keys: int) -> np.random.Generator:
+        """Generator for the stream identified by ``keys``."""
+        return spawn_generator(self.root_seed, *keys)
+
+    def person_stream(self, day: int, person_id: int) -> np.random.Generator:
+        """Per-(day, person) stream used for health/behaviour draws."""
+        return self.stream(self.PERSON, day, person_id)
+
+    def location_stream(self, day: int, location_id: int) -> np.random.Generator:
+        """Per-(day, location) stream used for transmission draws."""
+        return self.stream(self.LOCATION, day, location_id)
+
+    def uniforms_for(
+        self, prefix: int, day: int, ids: Iterable[int], salt: int = 0
+    ) -> np.ndarray:
+        """Vector of one U(0,1) draw per id, order-independent.
+
+        Equivalent to drawing ``stream(prefix, day, i, salt).random()``
+        for each id, but batched: used where the sequential reference
+        and the chare-parallel execution must agree on per-entity coin
+        flips while visiting entities in different orders.  Distinct
+        consumers sharing a prefix must use distinct ``salt`` values so
+        their decisions stay independent.
+        """
+        ids = np.asarray(list(ids), dtype=np.int64)
+        out = np.empty(len(ids), dtype=np.float64)
+        for j, i in enumerate(ids):
+            out[j] = spawn_generator(self.root_seed, prefix, day, int(i), salt).random()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngFactory(root_seed={self.root_seed})"

@@ -1,0 +1,76 @@
+"""Wall-clock timing and virtual-cost accounting helpers.
+
+Two distinct notions of time appear in this codebase:
+
+* **wall time** — how long our Python code actually takes; used when
+  fitting the load model against real measurements (Figure 3a) and in
+  the pytest-benchmark harness.
+* **virtual time** — the modelled execution time of the simulated
+  parallel machine; accumulated by :class:`CostAccumulator` instances
+  owned by simulated PEs.
+
+Keeping them in separate types prevents the classic bug of adding
+seconds of Python interpretation to seconds of modelled Cray time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "CostAccumulator"]
+
+
+class Timer:
+    """Context manager measuring wall time with ``perf_counter``.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+@dataclass
+class CostAccumulator:
+    """Accumulates virtual (modelled) costs, bucketed by category.
+
+    Categories in use: ``"compute"``, ``"comm"``, ``"sync"``, ``"idle"``.
+    The scheduler reads :attr:`total` as the PE's busy time; the scaling
+    analysis reads the per-category breakdown for the ablation benches.
+    """
+
+    buckets: dict = field(default_factory=dict)
+
+    def add(self, category: str, amount: float) -> None:
+        if amount < 0:
+            raise ValueError(f"negative cost {amount!r} for category {category!r}")
+        self.buckets[category] = self.buckets.get(category, 0.0) + amount
+
+    def get(self, category: str) -> float:
+        return self.buckets.get(category, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self.buckets.values())
+
+    def merge(self, other: "CostAccumulator") -> None:
+        """Fold another accumulator's buckets into this one."""
+        for k, v in other.buckets.items():
+            self.buckets[k] = self.buckets.get(k, 0.0) + v
+
+    def reset(self) -> None:
+        self.buckets.clear()

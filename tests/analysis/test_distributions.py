@@ -1,0 +1,32 @@
+"""Degree/load distribution helpers (Figures 3c/d, 7a/b)."""
+
+import numpy as np
+
+from repro.analysis.distributions import degree_distribution, load_distribution
+from repro.partition.splitloc import split_heavy_locations
+
+
+class TestDegreeDistribution:
+    def test_counts_all_locations(self, small_graph):
+        h = degree_distribution(small_graph)
+        assert h.counts.sum() == small_graph.n_locations
+
+    def test_heavy_tail_spans_decades(self, small_graph):
+        h = degree_distribution(small_graph)
+        span = h.edges[-1] / h.edges[0]
+        assert span > 100  # at least two decades of in-degree
+
+
+class TestLoadDistribution:
+    def test_counts_all_locations(self, small_graph):
+        h = load_distribution(small_graph)
+        assert h.counts.sum() == small_graph.n_locations
+
+
+class TestSplitEffect:
+    def test_split_compresses_the_tail(self, small_graph):
+        """Figure 7 vs Figure 3: after splitLoc the maximum degree drops."""
+        before = degree_distribution(small_graph)
+        sr = split_heavy_locations(small_graph, max_partitions=2048)
+        after = degree_distribution(sr.graph)
+        assert after.edges[-1] < before.edges[-1]

@@ -1,0 +1,25 @@
+"""Per-partition edge-cut sweep (Figure 14)."""
+
+import pytest
+
+from repro.analysis.edgecut import edge_cut_sweep
+
+
+class TestEdgeCutSweep:
+    def test_points_structure(self, tiny_graph):
+        pts = edge_cut_sweep(tiny_graph, [2, 8])
+        assert [p.k for p in pts] == [2, 8]
+        for p in pts:
+            assert p.max_partition_cut >= 0
+            assert p.all_remote_baseline == pytest.approx(tiny_graph.n_visits / p.k)
+
+    def test_k1_no_cut(self, tiny_graph):
+        (p,) = edge_cut_sweep(tiny_graph, [1])
+        assert p.max_partition_cut == 0
+
+    def test_ratio_exceeds_one_at_large_k(self, small_graph):
+        """The paper's point: the max per-partition cut is several times
+        the all-remote average because heavy locations concentrate
+        communication."""
+        pts = edge_cut_sweep(small_graph, [64])
+        assert pts[0].ratio > 1.0

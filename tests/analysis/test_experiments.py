@@ -1,0 +1,76 @@
+"""Replicate harness and policy comparison."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import compare_policies, run_replicates
+from repro.core import Scenario, TransmissionModel, Vaccination
+from repro.core.interventions import InterventionSchedule
+
+
+def _factory(graph, rate=2e-4, interventions=None):
+    def make(seed):
+        return Scenario(
+            graph=graph, n_days=20, seed=seed, initial_infections=5,
+            transmission=TransmissionModel(rate),
+            interventions=InterventionSchedule(
+                list(interventions()) if interventions else []
+            ),
+        )
+
+    return make
+
+
+class TestRunReplicates:
+    def test_shapes(self, tiny_graph):
+        s = run_replicates(_factory(tiny_graph), range(3))
+        assert s.n_replicates == 3
+        assert s.new_infections.shape == (3, 20)
+        assert s.attack_rates.shape == (3,)
+        assert s.mean_curve.shape == (20,)
+
+    def test_replicates_differ_across_seeds(self, tiny_graph):
+        s = run_replicates(_factory(tiny_graph), range(4))
+        assert np.ptp(s.attack_rates) > 0
+
+    def test_same_seed_identical(self, tiny_graph):
+        s = run_replicates(_factory(tiny_graph), [7, 7])
+        np.testing.assert_array_equal(s.new_infections[0], s.new_infections[1])
+
+    def test_ci_contains_mean(self, tiny_graph):
+        s = run_replicates(_factory(tiny_graph), range(5))
+        lo, hi = s.attack_rate_ci()
+        assert lo <= s.mean_attack_rate <= hi
+
+    def test_band_orders(self, tiny_graph):
+        s = run_replicates(_factory(tiny_graph), range(4))
+        lo, hi = s.curve_band()
+        assert np.all(lo <= hi)
+
+    def test_empty_seeds_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            run_replicates(_factory(tiny_graph), [])
+
+
+class TestComparePolicies:
+    def test_vaccination_beats_baseline(self, tiny_graph):
+        policies = {
+            "baseline": _factory(tiny_graph, rate=3e-4),
+            "vax": _factory(
+                tiny_graph, rate=3e-4,
+                interventions=lambda: [Vaccination(coverage=0.9, day=0)],
+            ),
+        }
+        summaries, contrasts = compare_policies(policies, range(4))
+        assert summaries["vax"].mean_attack_rate < summaries["baseline"].mean_attack_rate
+        (c,) = contrasts
+        assert c.mean_difference > 0  # baseline − vax
+
+    def test_identical_policies_not_significant(self, tiny_graph):
+        policies = {
+            "a": _factory(tiny_graph),
+            "b": _factory(tiny_graph),
+        }
+        _, contrasts = compare_policies(policies, range(3))
+        assert contrasts[0].p_value == 1.0
+        assert not contrasts[0].significant

@@ -1,0 +1,61 @@
+"""ASCII figure rendering."""
+
+import pytest
+
+from repro.analysis.figures import AsciiChart, render_series
+
+
+class TestAsciiChart:
+    def test_renders_grid_of_requested_size(self):
+        out = render_series({"a": [(1, 1), (10, 10), (100, 100)]}, width=30, height=8)
+        lines = out.splitlines()
+        # height rows + x-axis labels + legend
+        assert len(lines) == 8 + 2
+        assert "o=a" in lines[-1]
+
+    def test_multiple_series_distinct_glyphs(self):
+        out = render_series(
+            {"rr": [(1, 10), (10, 9)], "gp": [(1, 8), (10, 2)]},
+            width=20, height=6,
+        )
+        assert "o=rr" in out and "x=gp" in out
+        assert "o" in out and "x" in out
+
+    def test_empty_series(self):
+        assert render_series({}) == "(no data)"
+
+    def test_log_axes_reject_nonpositive_gracefully(self):
+        assert "(no positive data" in render_series({"a": [(0, 0)]})
+
+    def test_linear_axes(self):
+        out = AsciiChart(width=20, height=5, logx=False, logy=False).render(
+            {"a": [(0.0, 0.0), (1.0, 1.0)]}
+        )
+        assert "o" in out
+
+    def test_monotone_series_renders_monotone(self):
+        """Columns of glyphs must descend for a decreasing series."""
+        pts = [(10**i, 10.0 ** (3 - i)) for i in range(4)]
+        out = render_series({"s": pts}, width=40, height=10)
+        lines = out.splitlines()[:10]
+        cols = []
+        for r, line in enumerate(lines):
+            for c, ch in enumerate(line[12:]):
+                if ch == "o":
+                    cols.append((c, r))
+        cols.sort()
+        rows_in_col_order = [r for _, r in cols]
+        assert rows_in_col_order == sorted(rows_in_col_order)
+
+    def test_strong_scaling_figure_smoke(self, tiny_graph):
+        """Render a real Figure-13-style chart from the scaling model."""
+        from repro.analysis.scaling import strong_scaling_curve
+        from repro.partition import round_robin_partition
+
+        pts = strong_scaling_curve(
+            tiny_graph, lambda n: round_robin_partition(tiny_graph, n), [1, 16, 64]
+        )
+        chart = render_series(
+            {"RR": [(p.core_modules, p.time_per_day) for p in pts]}
+        )
+        assert "o=RR" in chart

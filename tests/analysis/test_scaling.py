@@ -1,0 +1,117 @@
+"""Phase-cost model and strong-scaling harness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.scaling import (
+    PhaseCostModel,
+    machine_for_core_modules,
+    speedup_table,
+    strong_scaling_curve,
+)
+from repro.charm.machine import Machine
+from repro.partition import round_robin_partition, split_heavy_locations
+from repro.partition.quality import BipartitePartition
+from repro.analysis.speedup import lpt_location_partition
+from repro.loadmodel.workload import WorkloadModel
+
+
+def _gp_like_provider(graph):
+    wl = WorkloadModel()
+    loads = wl.location_weights(graph).astype(float)
+
+    def provider(n_pes):
+        return BipartitePartition(
+            person_part=np.arange(graph.n_persons, dtype=np.int64) % n_pes,
+            location_part=lpt_location_partition(loads, n_pes),
+            k=n_pes,
+            method="LPT",
+        )
+
+    return provider
+
+
+class TestMachineBuilder:
+    def test_subnode_machine(self):
+        mc = machine_for_core_modules(4)
+        assert mc.n_nodes == 1 and mc.cores_per_node == 4 and not mc.smp
+
+    def test_multi_node_smp(self):
+        mc = machine_for_core_modules(64)
+        assert mc.n_nodes == 4 and mc.smp
+        assert Machine(mc).n_pes == 4 * 14
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            machine_for_core_modules(0)
+
+
+class TestDayTime:
+    def test_partition_machine_mismatch_rejected(self, tiny_graph):
+        model = PhaseCostModel()
+        bp = round_robin_partition(tiny_graph, 4)
+        with pytest.raises(ValueError, match="does not match"):
+            model.day_time(tiny_graph, bp, machine_for_core_modules(64))
+
+    def test_breakdown_components_nonnegative(self, tiny_graph):
+        model = PhaseCostModel()
+        mc = machine_for_core_modules(8)
+        bp = round_robin_partition(tiny_graph, Machine(mc).n_pes)
+        bd = model.day_time(tiny_graph, bp, mc)
+        for f in ("person_phase", "location_phase", "comm", "sync", "collect"):
+            assert getattr(bd, f) >= 0
+        assert bd.total > 0
+
+    def test_serial_time_has_no_overheads(self, tiny_graph):
+        model = PhaseCostModel()
+        bp1 = BipartitePartition(
+            np.zeros(tiny_graph.n_persons, dtype=np.int64),
+            np.zeros(tiny_graph.n_locations, dtype=np.int64),
+            1,
+        )
+        bd = model.day_time(tiny_graph, bp1, machine_for_core_modules(1))
+        assert bd.comm == 0 and bd.sync == 0 and bd.collect == 0
+        assert model.serial_day_time(tiny_graph) == pytest.approx(bd.total)
+
+
+class TestStrongScaling:
+    def test_speedup_at_one_core_is_one(self, small_graph):
+        pts = strong_scaling_curve(
+            small_graph, lambda n: round_robin_partition(small_graph, n), [1]
+        )
+        assert pts[0].speedup == pytest.approx(1.0)
+        assert pts[0].efficiency == pytest.approx(1.0)
+
+    def test_split_scales_further_than_rr(self, small_graph):
+        """The Figure-13 headline: GP/RR saturate at Ltot/lmax while
+        splitLoc keeps scaling."""
+        cores = [1, 16, 256, 2048]
+        rr_pts = strong_scaling_curve(
+            small_graph, lambda n: round_robin_partition(small_graph, n), cores
+        )
+        sr = split_heavy_locations(small_graph, max_partitions=4096)
+        split_pts = strong_scaling_curve(
+            sr.graph, _gp_like_provider(sr.graph), cores
+        )
+        assert split_pts[-1].speedup > 2 * rr_pts[-1].speedup
+
+    def test_qd_sync_costs_more_than_cd(self, tiny_graph):
+        cd = PhaseCostModel(sync_waves=1)
+        qd = PhaseCostModel(sync_waves=3)
+        mc = machine_for_core_modules(64)
+        bp = round_robin_partition(tiny_graph, Machine(mc).n_pes)
+        assert qd.day_time(tiny_graph, bp, mc).sync > cd.day_time(tiny_graph, bp, mc).sync
+
+    def test_no_aggregation_costs_more_at_scale(self, small_graph):
+        agg = PhaseCostModel(aggregation_bytes=64 * 1024)
+        none = PhaseCostModel(aggregation_bytes=0)
+        mc = machine_for_core_modules(128)
+        bp = round_robin_partition(small_graph, Machine(mc).n_pes)
+        assert none.day_time(small_graph, bp, mc).comm > agg.day_time(small_graph, bp, mc).comm
+
+    def test_table_formatting(self, tiny_graph):
+        pts = strong_scaling_curve(
+            tiny_graph, lambda n: round_robin_partition(tiny_graph, n), [1, 16]
+        )
+        table = speedup_table(pts)
+        assert "speedup" in table and len(table.splitlines()) == 3

@@ -1,0 +1,96 @@
+"""S_ub speedup bounds and the §III-B analytic form."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.speedup import (
+    analytic_sub_over_d_bound,
+    lpt_location_partition,
+    speedup_bound_curve,
+    sub_over_d,
+    upper_bound_speedup,
+)
+from repro.loadmodel.workload import WorkloadModel
+from repro.partition.splitloc import split_heavy_locations
+
+
+class TestUpperBound:
+    def test_balanced_gives_k(self):
+        assert upper_bound_speedup([5.0, 5.0, 5.0, 5.0]) == pytest.approx(4.0)
+
+    def test_single_heavy_partition_dominates(self):
+        assert upper_bound_speedup([10.0, 1.0, 1.0]) == pytest.approx(1.2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            upper_bound_speedup([])
+
+
+class TestLPT:
+    def test_assigns_all(self):
+        loads = np.array([5.0, 3.0, 2.0, 2.0, 1.0, 1.0])
+        part = lpt_location_partition(loads, 2)
+        assert part.shape == loads.shape
+        sums = np.bincount(part, weights=loads, minlength=2)
+        assert sums.max() == pytest.approx(7.0)  # LPT on this input is optimal
+
+    def test_k_one(self):
+        part = lpt_location_partition(np.array([1.0, 2.0]), 1)
+        assert np.all(part == 0)
+
+
+class TestBoundCurve:
+    def test_monotone_then_saturates(self, small_graph):
+        ks = [1, 2, 8, 64, 512, 4096]
+        curve = speedup_bound_curve(small_graph, ks)
+        values = [curve[k] for k in ks]
+        assert values[0] == 1.0
+        assert values[-1] >= values[1]
+        # Saturation: S_ub can never exceed Ltot/lmax.
+        wl = WorkloadModel()
+        loads = wl.location_weights(small_graph).astype(float)
+        cap = loads.sum() / loads.max()
+        assert all(v <= cap + 1e-9 for v in values)
+
+    def test_gp_method_agrees_roughly_with_lpt_at_small_k(self, tiny_graph):
+        lpt = speedup_bound_curve(tiny_graph, [4], method="lpt")[4]
+        gp = speedup_bound_curve(tiny_graph, [4], method="gp")[4]
+        assert gp <= lpt * 1.05  # LPT is the balance-optimal reference
+        assert gp > 1.0
+
+    def test_unknown_method(self, tiny_graph):
+        with pytest.raises(ValueError):
+            speedup_bound_curve(tiny_graph, [2], method="magic")
+
+
+class TestSplitLocEffect:
+    def test_split_raises_max_sub(self, small_graph):
+        """The paper's headline §III-C effect: Ltot/lmax grows by a large
+        factor after splitting."""
+        before = sub_over_d(small_graph) * small_graph.n_locations
+        sr = split_heavy_locations(small_graph, max_partitions=4096)
+        after = sub_over_d(sr.graph) * sr.graph.n_locations
+        assert after > 3 * before
+
+    def test_sub_over_d_closed_form_matches_sweep(self, tiny_graph):
+        closed = sub_over_d(tiny_graph)
+        swept = sub_over_d(tiny_graph, ks=[1, 4, 16, 64, 256, 1024, 8192])
+        assert swept <= closed + 1e-9
+        assert swept >= 0.5 * closed  # sweep approaches the cap
+
+
+class TestAnalyticBound:
+    def test_decreases_with_data_size(self):
+        small = analytic_sub_over_d_bound(2.0, 14.35, 10_000)
+        big = analytic_sub_over_d_bound(2.0, 14.35, 10_000_000)
+        assert big < small
+
+    def test_higher_beta_scales_better(self):
+        # Lighter tails (bigger beta) hurt scalability less.
+        light = analytic_sub_over_d_bound(3.0, 14.35, 10**6)
+        heavy = analytic_sub_over_d_bound(1.8, 14.35, 10**6)
+        assert light > heavy
+
+    def test_invalid_d(self):
+        with pytest.raises(ValueError):
+            analytic_sub_over_d_bound(2.0, 14.35, 0)

@@ -1,0 +1,69 @@
+"""§III-B closed-form machinery and its empirical cross-checks."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import (
+    PowerLawTheory,
+    characteristic_dmax,
+    empirical_tail,
+    expected_max_degree,
+)
+from repro.synthpop import PopulationConfig, generate_population
+from repro.synthpop.powerlaw import bounded_zipf_sample
+
+
+class TestClosedForms:
+    def test_dmax_grows_sublinearly(self):
+        d1 = characteristic_dmax(2.0, 10_000)
+        d2 = characteristic_dmax(2.0, 40_000)
+        # (cD)^(1/2): 4x vertices -> 2x dmax.
+        assert d2 / d1 == pytest.approx(2.0, rel=1e-6)
+
+    def test_heavier_tail_bigger_dmax(self):
+        assert characteristic_dmax(1.8, 10**5) > characteristic_dmax(2.8, 10**5)
+
+    def test_doubling_loss_is_d_independent(self):
+        t = PowerLawTheory(beta=2.0, d_avg=14.35)
+        assert t.doubling_loss(10**4) == pytest.approx(t.doubling_loss(10**6), rel=1e-9)
+        assert t.doubling_loss(10**4) == pytest.approx(1 - 2 ** (-1 / 2.0), rel=1e-9)
+
+    def test_sub_over_d_decreasing(self):
+        t = PowerLawTheory(beta=2.0, d_avg=14.35)
+        values = [t.sub_over_d_bound(d) for d in (10**3, 10**4, 10**5, 10**6)]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PowerLawTheory(beta=1.0, d_avg=10)
+        with pytest.raises(ValueError):
+            characteristic_dmax(2.0, 0)
+
+
+class TestAgainstSampledDegrees:
+    def test_expected_max_tracks_samples(self):
+        """The order-statistics form brackets realised sample maxima;
+        the paper's density form is a (deliberate) underestimate."""
+        rng = np.random.default_rng(7)
+        beta = 2.0
+        for n in (2_000, 20_000, 200_000):
+            sample_max = bounded_zipf_sample(rng, n, beta, d_max=10**6).max()
+            tail = expected_max_degree(beta, n)
+            density = characteristic_dmax(beta, n)
+            assert tail / 8 < sample_max < tail * 8
+            assert density < sample_max  # conservative by construction
+
+    def test_forms_ordered(self):
+        for beta in (1.7, 2.0, 2.5):
+            assert expected_max_degree(beta, 10**5) > characteristic_dmax(beta, 10**5)
+
+    def test_empirical_fit_on_generated_population(self):
+        """The fitted theory must at least bound the realised tail from
+        both sides: density-dmax <= realised dmax <= ~tail-dmax."""
+        g = generate_population(PopulationConfig(n_persons=3000), 5)
+        theory = empirical_tail(g)
+        assert 1.3 < theory.beta < 3.5
+        deg = g.location_in_degrees().astype(float)
+        realised = deg.max()
+        assert characteristic_dmax(theory.beta, g.n_locations) < realised
+        assert realised < 30 * expected_max_degree(theory.beta, g.n_locations)

@@ -1,0 +1,106 @@
+"""Message aggregation buffers."""
+
+import numpy as np
+import pytest
+
+from repro.charm import Chare, MachineConfig, RuntimeSimulator
+from repro.charm.aggregation import AggregationRecord, MessageAggregator
+
+
+def _rec(i=0, nbytes=16):
+    return AggregationRecord("arr", i, "m", None, nbytes)
+
+
+class TestBuffering:
+    def test_flush_on_threshold(self):
+        agg = MessageAggregator("t", buffer_bytes=64)
+        assert agg.append(0, 1, _rec(nbytes=32)) is None
+        batch = agg.append(0, 1, _rec(nbytes=32))
+        assert batch is not None and len(batch) == 2
+
+    def test_zero_buffer_disables_aggregation(self):
+        agg = MessageAggregator("t", buffer_bytes=0)
+        batch = agg.append(0, 1, _rec())
+        assert batch is not None and len(batch) == 1
+        assert agg.aggregation_ratio == 1.0
+
+    def test_buffers_keyed_by_pair(self):
+        agg = MessageAggregator("t", buffer_bytes=64)
+        agg.append(0, 1, _rec(nbytes=40))
+        agg.append(0, 2, _rec(nbytes=40))  # different destination: no flush
+        assert agg.pending_sources() == {0}
+        flushed = agg.flush_source(0)
+        assert {dst for dst, _ in flushed} == {1, 2}
+
+    def test_flush_source_drains_only_that_source(self):
+        agg = MessageAggregator("t", buffer_bytes=1024)
+        agg.append(0, 1, _rec())
+        agg.append(5, 1, _rec())
+        agg.flush_source(0)
+        assert agg.pending_sources() == {5}
+
+    def test_aggregation_ratio(self):
+        agg = MessageAggregator("t", buffer_bytes=1024)
+        for _ in range(10):
+            agg.append(0, 1, _rec(nbytes=16))
+        agg.flush_source(0)
+        assert agg.aggregation_ratio == 10.0
+
+    def test_negative_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            MessageAggregator("t", buffer_bytes=-1)
+
+
+class Sender(Chare):
+    def go(self, n):
+        self.charge(1e-6)
+        for j in range(n):
+            self.send_via("ch", "sink", j % 2, "recv", j, 16)
+        self.runtime.flush_channel("ch", self.pe)
+
+
+class Sink(Chare):
+    def __init__(self):
+        self.got = []
+
+    def recv(self, v):
+        self.charge(1e-7)
+        self.got.append(v)
+
+
+class TestChannelIntegration:
+    def _run(self, buffer_bytes, n=40):
+        rt = RuntimeSimulator(
+            MachineConfig(n_nodes=2, cores_per_node=4, smp=True, processes_per_node=1)
+        )
+        rt.ensure_pe_agents()
+        rt.create_channel("ch", buffer_bytes)
+        rt.create_array("send", lambda i: Sender(), np.zeros(1, dtype=np.int64))
+        sink = rt.create_array(
+            "sink", lambda i: Sink(), np.array([0, rt.machine.n_pes - 1])
+        )
+        rt.inject("send", 0, "go", n)
+        t = rt.run()
+        got = sorted(sink.element(0).got + sink.element(1).got)
+        return t, got, rt
+
+    def test_all_records_delivered(self):
+        _, got, _ = self._run(buffer_bytes=256)
+        assert got == list(range(40))
+
+    def test_delivery_identical_with_and_without_aggregation(self):
+        _, got_agg, _ = self._run(buffer_bytes=512)
+        _, got_none, _ = self._run(buffer_bytes=0)
+        assert got_agg == got_none
+
+    def test_aggregation_reduces_wire_messages(self):
+        _, _, rt_agg = self._run(buffer_bytes=4096)
+        _, _, rt_none = self._run(buffer_bytes=0)
+        wires_agg = sum(rt_agg.msg_counter.values())
+        wires_none = sum(rt_none.msg_counter.values())
+        assert wires_agg < wires_none
+
+    def test_aggregation_reduces_remote_virtual_time(self):
+        t_agg, _, _ = self._run(buffer_bytes=4096, n=200)
+        t_none, _, _ = self._run(buffer_bytes=0, n=200)
+        assert t_agg < t_none

@@ -1,0 +1,137 @@
+"""Completion and quiescence detection protocols."""
+
+import numpy as np
+import pytest
+
+from repro.charm import Chare, CompletionDetector, MachineConfig, QuiescenceDetector, RuntimeSimulator
+
+
+class Producer(Chare):
+    """Sends ``fanout`` messages to consumers, then announces done."""
+
+    def start(self, fanout):
+        det = self.runtime._detectors["phase"]
+        self.charge(1e-6)
+        n = self.runtime.arrays["consumer"].n_elements
+        for j in range(fanout):
+            det.produce()
+            self.send("consumer", (self.index * 7 + j) % n, "recv", j, 32)
+        det.producer_done()
+
+
+class Consumer(Chare):
+    def __init__(self):
+        self.got = 0
+
+    def recv(self, _):
+        self.charge(2e-6)
+        self.runtime._detectors["phase"].consume()
+        self.got += 1
+
+
+class Target(Chare):
+    def __init__(self):
+        self.completed_at = []
+
+    def done(self, _):
+        self.completed_at.append(self.now())
+
+
+def _build(detector_cls, n_nodes=2, n_producers=6, n_consumers=9):
+    rt = RuntimeSimulator(
+        MachineConfig(n_nodes=n_nodes, cores_per_node=4, smp=True, processes_per_node=1)
+    )
+    rt.ensure_pe_agents()
+    rt.create_array(
+        "producer", lambda i: Producer(), np.arange(n_producers) % rt.machine.n_pes
+    )
+    cons = rt.create_array(
+        "consumer", lambda i: Consumer(), np.arange(n_consumers) % rt.machine.n_pes
+    )
+    tgt = rt.create_array("target", lambda i: Target(), np.zeros(1, dtype=np.int64))
+    det = detector_cls(rt, "phase")
+    return rt, det, cons, tgt
+
+
+class TestCompletionDetection:
+    def test_completes_after_all_consumed(self):
+        rt, det, cons, tgt = _build(CompletionDetector)
+        det.begin_phase(6, ("target", 0, "done"))
+        rt.broadcast("producer", "start", 3)
+        rt.run()
+        assert tgt.element(0).completed_at, "completion never fired"
+        assert det.completions == 1
+        total = sum(cons.element(i).got for i in range(9))
+        assert total == 18  # every message consumed before completion
+
+    def test_zero_message_phase_completes(self):
+        rt, det, cons, tgt = _build(CompletionDetector)
+        det.begin_phase(6, ("target", 0, "done"))
+        rt.broadcast("producer", "start", 0)
+        rt.run()
+        assert det.completions == 1
+
+    def test_detector_reusable_across_phases(self):
+        rt, det, cons, tgt = _build(CompletionDetector)
+        det.begin_phase(6, ("target", 0, "done"))
+        rt.broadcast("producer", "start", 2)
+        rt.run()
+        det.begin_phase(6, ("target", 0, "done"))
+        rt.broadcast("producer", "start", 4)
+        rt.run()
+        assert det.completions == 2
+        assert len(tgt.element(0).completed_at) == 2
+
+    def test_duplicate_name_rejected(self):
+        rt, det, _, _ = _build(CompletionDetector)
+        with pytest.raises(ValueError):
+            CompletionDetector(rt, "phase")
+
+
+class TestQuiescenceVsCompletion:
+    def test_qd_needs_more_waves(self):
+        rt_cd, det_cd, _, tgt_cd = _build(CompletionDetector)
+        det_cd.begin_phase(6, ("target", 0, "done"))
+        rt_cd.broadcast("producer", "start", 3)
+        rt_cd.run()
+
+        rt_qd, det_qd, _, tgt_qd = _build(QuiescenceDetector)
+        det_qd.begin_phase(6, ("target", 0, "done"))
+        rt_qd.broadcast("producer", "start", 3)
+        rt_qd.run()
+
+        assert det_qd.waves_run > det_cd.waves_run
+        assert det_qd.completions == 1
+
+    def test_qd_completion_is_later(self):
+        """The double-wave protocol costs extra virtual time."""
+        rt_cd, det_cd, _, tgt_cd = _build(CompletionDetector)
+        det_cd.begin_phase(6, ("target", 0, "done"))
+        rt_cd.broadcast("producer", "start", 3)
+        rt_cd.run()
+
+        rt_qd, det_qd, _, tgt_qd = _build(QuiescenceDetector)
+        det_qd.begin_phase(6, ("target", 0, "done"))
+        rt_qd.broadcast("producer", "start", 3)
+        rt_qd.run()
+
+        assert tgt_qd.element(0).completed_at[0] > tgt_cd.element(0).completed_at[0]
+
+
+class TestSafety:
+    def test_no_completion_before_producers_done(self):
+        """A detector expecting a producer that never reports must not fire."""
+        rt, det, cons, tgt = _build(CompletionDetector)
+        det.begin_phase(7, ("target", 0, "done"))  # one producer will never exist
+        rt.broadcast("producer", "start", 1)
+        rt.run(max_events=50_000)
+        assert det.completions == 0
+        assert tgt.element(0).completed_at == []
+
+    def test_completion_without_target_raises(self):
+        rt, det, cons, tgt = _build(CompletionDetector)
+        det.begin_phase(6, ("target", 0, "done"))
+        det.target = None
+        rt.broadcast("producer", "start", 1)
+        with pytest.raises(RuntimeError, match="without a target"):
+            rt.run()

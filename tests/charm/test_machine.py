@@ -1,0 +1,61 @@
+"""Machine model: PE/process/node topology."""
+
+import pytest
+
+from repro.charm.machine import BLUE_WATERS_NODE, Machine, MachineConfig
+
+
+class TestMachineConfig:
+    def test_blue_waters_node_size(self):
+        assert BLUE_WATERS_NODE == 16
+
+    def test_smp_loses_comm_cores(self):
+        c = MachineConfig(n_nodes=2, cores_per_node=16, smp=True, processes_per_node=2)
+        assert c.compute_pes_per_node == 14
+        assert c.n_pes == 28
+        assert c.total_cores == 32
+
+    def test_non_smp_uses_all_cores(self):
+        c = MachineConfig(n_nodes=2, cores_per_node=16, smp=False)
+        assert c.n_pes == 32
+        assert c.total_cores == 32
+
+    def test_processes_must_divide_cores(self):
+        with pytest.raises(ValueError):
+            MachineConfig(cores_per_node=16, smp=True, processes_per_node=3)
+
+    def test_processes_bound(self):
+        with pytest.raises(ValueError):
+            MachineConfig(cores_per_node=4, smp=True, processes_per_node=4)
+
+    def test_rejects_empty_machine(self):
+        with pytest.raises(ValueError):
+            MachineConfig(n_nodes=0)
+
+
+class TestMachineTopology:
+    def test_smp_process_assignment(self):
+        m = Machine(MachineConfig(n_nodes=2, cores_per_node=8, smp=True, processes_per_node=2))
+        # 8 cores/node, 2 procs/node -> 4 cores/proc -> 3 compute PEs/proc.
+        assert m.pes_per_process == 3
+        assert m.n_processes == 4
+        assert m.n_pes == 12
+        assert m.process_of(0) == 0
+        assert m.process_of(3) == 1
+        assert m.node_of(0) == 0
+        assert m.node_of(6) == 1
+
+    def test_same_process_and_node(self):
+        m = Machine(MachineConfig(n_nodes=2, cores_per_node=8, smp=True, processes_per_node=2))
+        assert m.same_process(0, 1)
+        assert not m.same_process(2, 3)
+        assert m.same_node(2, 3)
+        assert not m.same_node(5, 6)
+
+    def test_non_smp_each_core_own_process(self):
+        m = Machine(MachineConfig(n_nodes=2, cores_per_node=4, smp=False))
+        assert m.n_processes == 8
+        assert m.pes_per_process == 1
+        assert not m.same_process(0, 1)
+        assert m.same_node(0, 3)
+        assert not m.same_node(3, 4)

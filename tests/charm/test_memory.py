@@ -1,0 +1,124 @@
+"""Memory-footprint model (§IV-A benefit iii)."""
+
+import pytest
+
+from repro.charm.machine import MachineConfig
+from repro.charm.memory import MemoryModel
+
+
+class TestMemoryModel:
+    def test_smp_reduces_read_only_copies(self, small_graph):
+        model = MemoryModel()
+        smp = model.per_node(
+            small_graph, MachineConfig(n_nodes=2, cores_per_node=16, smp=True,
+                                       processes_per_node=2)
+        )
+        flat = model.per_node(
+            small_graph, MachineConfig(n_nodes=2, cores_per_node=16, smp=False)
+        )
+        assert smp.copies_per_node == 2
+        assert flat.copies_per_node == 16
+        assert smp.read_only_per_node * 8 == flat.read_only_per_node
+        assert smp.total_per_node < flat.total_per_node
+
+    def test_mutable_state_independent_of_smp(self, small_graph):
+        model = MemoryModel()
+        mk = lambda smp: model.per_node(
+            small_graph,
+            MachineConfig(n_nodes=2, cores_per_node=16, smp=smp,
+                          processes_per_node=2 if smp else 2),
+            n_chares=64,
+        )
+        assert mk(True).mutable_per_node == mk(False).mutable_per_node
+
+    def test_scales_with_population(self, tiny_graph, small_graph):
+        model = MemoryModel()
+        mc = MachineConfig(n_nodes=1, cores_per_node=4, smp=False)
+        assert (
+            model.per_node(small_graph, mc).total_per_node
+            > model.per_node(tiny_graph, mc).total_per_node
+        )
+
+    def test_more_nodes_less_per_node(self, small_graph):
+        model = MemoryModel()
+        one = model.per_node(small_graph, MachineConfig(1, 16, True, 2))
+        four = model.per_node(small_graph, MachineConfig(4, 16, True, 2))
+        assert four.total_per_node < one.total_per_node
+
+    def test_report_str(self, tiny_graph):
+        model = MemoryModel()
+        rep = model.per_node(tiny_graph, MachineConfig(1, 4, smp=False))
+        assert "MiB/node" in str(rep)
+
+
+class TestWeekendSchedule:
+    """WeekendSchedule lives in core but is tested here alongside the
+    §IV-A material it complements (weekly rhythm over long runs)."""
+
+    def test_weekday_untouched(self, small_graph):
+        import numpy as np
+
+        from repro.core.interventions import InterventionSchedule, WeekendSchedule
+        from tests.core.test_interventions import _ctx
+
+        ctx = _ctx(small_graph, day=2)  # a weekday
+        sched = InterventionSchedule([WeekendSchedule(compliance=1.0)])
+        assert sched.visit_mask(ctx).all()
+
+    def test_weekend_drops_work_and_school(self, small_graph):
+        import numpy as np
+
+        from repro.core.interventions import InterventionSchedule, WeekendSchedule
+        from repro.synthpop.graph import LocationType
+        from tests.core.test_interventions import _ctx
+
+        ctx = _ctx(small_graph, day=5)  # weekend
+        sched = InterventionSchedule([WeekendSchedule(compliance=1.0)])
+        keep = sched.visit_mask(ctx)
+        types = small_graph.location_type[small_graph.visit_location]
+        workish = (types == LocationType.WORK) | (types == LocationType.SCHOOL)
+        assert not np.any(keep & workish)
+        assert keep[~workish].all()
+
+    def test_partial_compliance_statistics(self, small_graph):
+        import numpy as np
+
+        from repro.core.interventions import InterventionSchedule, WeekendSchedule
+        from repro.synthpop.graph import LocationType
+        from tests.core.test_interventions import _ctx
+
+        ctx = _ctx(small_graph, day=6)
+        sched = InterventionSchedule([WeekendSchedule(compliance=0.5)])
+        keep = sched.visit_mask(ctx)
+        types = small_graph.location_type[small_graph.visit_location]
+        workish = (types == LocationType.WORK) | (types == LocationType.SCHOOL)
+        frac_kept = keep[workish].mean()
+        assert 0.3 < frac_kept < 0.7
+
+    def test_script_directive(self):
+        from repro.core.interventions import WeekendSchedule, parse_intervention_script
+
+        sched = parse_intervention_script("weekends compliance=0.8")
+        assert isinstance(sched.interventions[0], WeekendSchedule)
+        assert sched.interventions[0].compliance == 0.8
+
+    def test_parallel_equivalence_with_weekends(self, tiny_graph):
+        from repro.charm.machine import Machine, MachineConfig
+        from repro.core import Scenario, SequentialSimulator, TransmissionModel
+        from repro.core.interventions import InterventionSchedule, WeekendSchedule
+        from repro.core.parallel import Distribution, ParallelEpiSimdemics
+        from repro.partition import round_robin_partition
+
+        def scenario():
+            return Scenario(
+                graph=tiny_graph, n_days=10, seed=4, initial_infections=5,
+                transmission=TransmissionModel(2e-4),
+                interventions=InterventionSchedule([WeekendSchedule()]),
+            )
+
+        seq = SequentialSimulator(scenario()).run()
+        mc = MachineConfig(n_nodes=2, cores_per_node=4, smp=True, processes_per_node=1)
+        m = Machine(mc)
+        dist = Distribution.from_partition(round_robin_partition(tiny_graph, m.n_pes), m)
+        par = ParallelEpiSimdemics(scenario(), mc, dist).run()
+        assert par.result.curve == seq.curve

@@ -1,0 +1,30 @@
+"""Message envelope accounting."""
+
+from repro.charm.messages import (
+    CONTROL_BYTES,
+    ENVELOPE_BYTES,
+    INFECT_BYTES,
+    VISIT_BYTES,
+    Message,
+)
+
+
+class TestMessage:
+    def test_wire_bytes_adds_envelope(self):
+        m = Message("a", 0, "m", payload_bytes=100)
+        assert m.wire_bytes() == 100 + ENVELOPE_BYTES
+
+    def test_default_payload_is_control_sized(self):
+        m = Message("a", 0, "m")
+        assert m.payload_bytes == CONTROL_BYTES
+
+    def test_seq_monotone(self):
+        a, b = Message("x", 0, "m"), Message("x", 0, "m")
+        assert b.seq > a.seq
+
+    def test_record_sizes_are_packed(self):
+        # The paper reduces message sizes (§IV); visits must stay small
+        # relative to the envelope so aggregation matters.
+        assert VISIT_BYTES <= 16
+        assert INFECT_BYTES <= 16
+        assert ENVELOPE_BYTES > VISIT_BYTES  # per-message overhead dominates

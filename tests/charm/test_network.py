@@ -1,0 +1,62 @@
+"""Network cost model tiers and SMP/non-SMP cost structure."""
+
+import pytest
+
+from repro.charm.machine import Machine, MachineConfig
+from repro.charm.network import NetworkModel
+
+
+@pytest.fixture()
+def smp_machine():
+    return Machine(MachineConfig(n_nodes=2, cores_per_node=8, smp=True, processes_per_node=2))
+
+
+@pytest.fixture()
+def flat_machine():
+    return Machine(MachineConfig(n_nodes=2, cores_per_node=8, smp=False))
+
+
+class TestTiers:
+    def test_intra_process_cheapest(self, smp_machine):
+        net = NetworkModel()
+        same_proc = net.message_costs(smp_machine, 0, 1, 1000).total
+        same_node = net.message_costs(smp_machine, 0, 3, 1000).total
+        remote = net.message_costs(smp_machine, 0, 6, 1000).total
+        assert same_proc < same_node < remote
+
+    def test_self_send_uses_memcpy_even_without_smp(self, flat_machine):
+        net = NetworkModel()
+        c = net.message_costs(flat_machine, 5, 5, 100)
+        assert c.latency == pytest.approx(
+            net.alpha_intra_process + net.beta_intra_process * 100
+        )
+
+    def test_latency_grows_with_bytes(self, smp_machine):
+        net = NetworkModel()
+        small = net.message_costs(smp_machine, 0, 6, 100).latency
+        big = net.message_costs(smp_machine, 0, 6, 1_000_000).latency
+        assert big > small
+        assert big - small == pytest.approx(net.beta_inter_node * (1_000_000 - 100))
+
+
+class TestSMPOffload:
+    def test_smp_moves_overhead_to_comm_thread(self, smp_machine):
+        net = NetworkModel()
+        c = net.message_costs(smp_machine, 0, 6, 1000)
+        assert c.src_comm > 0 and c.dst_comm > 0
+        assert c.src_cpu < net.send_overhead  # PE pays only the hand-off
+
+    def test_non_smp_pays_inline_with_penalty(self, flat_machine):
+        net = NetworkModel()
+        c = net.message_costs(flat_machine, 0, 9, 1000)
+        assert c.src_comm == 0 and c.dst_comm == 0
+        assert c.src_cpu > net.send_overhead  # inflated by the penalty
+
+    def test_non_smp_pe_cpu_cost_exceeds_smp(self, smp_machine, flat_machine):
+        net = NetworkModel()
+        smp = net.message_costs(smp_machine, 0, 6, 1000)
+        flat = net.message_costs(flat_machine, 0, 9, 1000)
+        assert flat.src_cpu + flat.dst_cpu > smp.src_cpu + smp.dst_cpu
+
+    def test_tree_hop_cost_positive(self):
+        assert NetworkModel().tree_hop_cost() > 0

@@ -1,0 +1,57 @@
+"""Spanning-tree topology."""
+
+import pytest
+
+from repro.charm.reduction import ReductionRound, ReductionTree
+
+
+class TestTree:
+    def test_root_has_no_parent(self):
+        t = ReductionTree(10)
+        assert t.parent(0) is None
+
+    def test_parent_child_consistency(self):
+        t = ReductionTree(50, arity=4)
+        for pe in range(1, 50):
+            assert pe in t.children(t.parent(pe))
+
+    def test_children_within_bounds(self):
+        t = ReductionTree(10, arity=4)
+        for pe in range(10):
+            for c in t.children(pe):
+                assert 0 <= c < 10
+
+    def test_depth_log_like(self):
+        assert ReductionTree(1).depth() == 0
+        assert ReductionTree(5, arity=4).depth() == 1
+        assert ReductionTree(64, arity=4).depth() == 3
+        assert ReductionTree(4096, arity=4).depth() == 6
+
+    def test_every_pe_reachable_from_root(self):
+        t = ReductionTree(37, arity=3)
+        seen = set()
+        stack = [0]
+        while stack:
+            pe = stack.pop()
+            seen.add(pe)
+            stack.extend(t.children(pe))
+        assert seen == set(range(37))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ReductionTree(0)
+        with pytest.raises(ValueError):
+            ReductionTree(4, arity=1)
+
+
+class TestReductionRound:
+    def test_combines_in_order(self):
+        r = ReductionRound()
+        r.add(lambda a, b: a + b, 3)
+        r.add(lambda a, b: a + b, 4)
+        assert r.partial == 7
+
+    def test_first_value_initialises(self):
+        r = ReductionRound()
+        r.add(min, 9)
+        assert r.partial == 9 and r.has_partial

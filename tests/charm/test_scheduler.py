@@ -1,0 +1,169 @@
+"""Runtime simulator: messaging, clocks, broadcasts, reductions."""
+
+import numpy as np
+import pytest
+
+from repro.charm import Chare, MachineConfig, RuntimeSimulator
+
+
+def _runtime(n_nodes=2, cores=4, smp=True, procs=1):
+    return RuntimeSimulator(
+        MachineConfig(n_nodes=n_nodes, cores_per_node=cores, smp=smp, processes_per_node=procs)
+    )
+
+
+class Echo(Chare):
+    def __init__(self):
+        self.received = []
+
+    def recv(self, payload):
+        self.charge(1e-6)
+        self.received.append(payload)
+
+    def relay(self, payload):
+        target, value = payload
+        self.charge(1e-6)
+        self.send("echo", target, "recv", value, 8)
+
+
+class TestBasics:
+    def test_inject_and_execute(self):
+        rt = _runtime()
+        arr = rt.create_array("echo", lambda i: Echo(), np.arange(4) % rt.machine.n_pes)
+        rt.inject("echo", 2, "recv", "hi")
+        t = rt.run()
+        assert arr.element(2).received == ["hi"]
+        assert t > 0
+
+    def test_send_between_chares(self):
+        rt = _runtime()
+        arr = rt.create_array("echo", lambda i: Echo(), np.arange(4) % rt.machine.n_pes)
+        rt.inject("echo", 0, "relay", (3, "x"))
+        rt.run()
+        assert arr.element(3).received == ["x"]
+
+    def test_virtual_time_includes_charges(self):
+        rt = _runtime()
+        rt.create_array("echo", lambda i: Echo(), np.zeros(1, dtype=np.int64))
+        rt.inject("echo", 0, "recv", 1)
+        rt.inject("echo", 0, "recv", 2)
+        t = rt.run()
+        assert t >= 2e-6  # two serialized executions on one PE
+
+    def test_placement_validated(self):
+        rt = _runtime()
+        with pytest.raises(ValueError):
+            rt.create_array("bad", lambda i: Echo(), np.array([999]))
+
+    def test_duplicate_array_rejected(self):
+        rt = _runtime()
+        rt.create_array("a", lambda i: Echo(), np.zeros(1, dtype=np.int64))
+        with pytest.raises(ValueError):
+            rt.create_array("a", lambda i: Echo(), np.zeros(1, dtype=np.int64))
+
+    def test_negative_charge_rejected(self):
+        rt = _runtime()
+
+        class Bad(Chare):
+            def go(self, _):
+                self.charge(-1.0)
+
+        rt.create_array("bad", lambda i: Bad(), np.zeros(1, dtype=np.int64))
+        rt.inject("bad", 0, "go")
+        with pytest.raises(ValueError):
+            rt.run()
+
+    def test_message_tier_accounting(self):
+        rt = _runtime(n_nodes=2, cores=4, smp=True, procs=1)
+        rt.create_array("echo", lambda i: Echo(), np.array([0, rt.machine.n_pes - 1]))
+        rt.inject("echo", 0, "relay", (1, "远"))
+        rt.run()
+        assert rt.msg_counter.get("inter_node", 0) >= 1
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_every_element(self):
+        rt = _runtime(n_nodes=2, cores=8, smp=True, procs=2)
+        rt.ensure_pe_agents()
+        n = 20
+        arr = rt.create_array("echo", lambda i: Echo(), np.arange(n) % rt.machine.n_pes)
+        rt.broadcast("echo", "recv", "all")
+        rt.run()
+        for i in range(n):
+            assert arr.element(i).received == ["all"]
+
+    def test_broadcast_cost_scales_with_tree_depth(self):
+        def bcast_time(n_nodes):
+            rt = _runtime(n_nodes=n_nodes, cores=4, smp=True, procs=1)
+            rt.ensure_pe_agents()
+            rt.create_array(
+                "echo", lambda i: Echo(), np.arange(rt.machine.n_pes, dtype=np.int64)
+            )
+            rt.broadcast("echo", "recv", 0)
+            return rt.run()
+
+        assert bcast_time(64) > bcast_time(2)
+
+
+class Contributor(Chare):
+    def go(self, _):
+        self.charge(1e-7)
+        self.contribute("sum", self.index + 1)
+
+
+class Sink(Chare):
+    def __init__(self):
+        self.value = None
+        self.count = 0
+
+    def result(self, value):
+        self.value = value
+        self.count += 1
+
+
+class TestReduction:
+    def _setup(self, n_elements, n_nodes=2):
+        rt = _runtime(n_nodes=n_nodes, cores=4, smp=True, procs=1)
+        rt.ensure_pe_agents()
+        rt.create_array(
+            "c", lambda i: Contributor(), np.arange(n_elements) % rt.machine.n_pes
+        )
+        sink_arr = rt.create_array("sink", lambda i: Sink(), np.zeros(1, dtype=np.int64))
+        rt.register_reduction(
+            "sum", combine=lambda a, b: a + b, arrays=["c"], target=("sink", 0, "result")
+        )
+        return rt, sink_arr
+
+    def test_sum_reduction(self):
+        rt, sink = self._setup(10)
+        rt.broadcast("c", "go")
+        rt.run()
+        assert sink.element(0).value == sum(range(1, 11))
+
+    def test_reduction_reusable_across_rounds(self):
+        rt, sink = self._setup(6)
+        rt.broadcast("c", "go")
+        rt.run()
+        first = sink.element(0).value
+        rt.broadcast("c", "go")
+        rt.run()
+        assert sink.element(0).count == 2
+        assert sink.element(0).value == first
+
+    def test_single_element_reduction(self):
+        rt, sink = self._setup(1, n_nodes=1)
+        rt.broadcast("c", "go")
+        rt.run()
+        assert sink.element(0).value == 1
+
+
+class TestStats:
+    def test_stats_summary_fields(self):
+        rt = _runtime()
+        rt.create_array("echo", lambda i: Echo(), np.zeros(2, dtype=np.int64))
+        rt.inject("echo", 0, "relay", (1, "v"))
+        rt.run()
+        s = rt.stats_summary()
+        assert s["events"] > 0
+        assert s["compute_total"] > 0
+        assert s["virtual_time"] == rt.current_time

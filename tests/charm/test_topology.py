@@ -1,0 +1,97 @@
+"""Torus topology and placement helpers."""
+
+import numpy as np
+import pytest
+
+from repro.charm.network import NetworkModel
+from repro.charm.topology import (
+    TorusTopology,
+    blocked_placement,
+    linear_placement,
+    torus_network,
+)
+
+
+class TestTorus:
+    def test_coords_roundtrip(self):
+        t = TorusTopology((3, 4, 5))
+        for node in range(t.n_nodes):
+            x, y, z = t.coords(node)
+            assert (x * 4 + y) * 5 + z == node
+
+    def test_wraparound_distance(self):
+        t = TorusTopology((8, 1, 1))
+        assert t.hops(0, 7) == 1  # wraps around
+        assert t.hops(0, 4) == 4  # half-way is the worst case
+
+    def test_hops_symmetric_and_triangle(self):
+        t = TorusTopology((3, 3, 3))
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a, b, c = rng.integers(0, t.n_nodes, 3)
+            assert t.hops(a, b) == t.hops(b, a)
+            assert t.hops(a, c) <= t.hops(a, b) + t.hops(b, c)
+
+    def test_fitting_covers_requested_nodes(self):
+        for n in (1, 7, 64, 100, 1000):
+            t = TorusTopology.fitting(n)
+            assert t.n_nodes >= n
+            assert max(t.dims) <= 2 * min(t.dims) + 2  # near-cubic
+
+    def test_mean_hops_grows_with_size(self):
+        small = TorusTopology((4, 4, 4)).mean_hops()
+        big = TorusTopology((16, 16, 16)).mean_hops()
+        assert big > small
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            TorusTopology((0, 2, 2))
+
+
+class TestTorusNetwork:
+    def test_alpha_increases_with_machine_size(self):
+        base = NetworkModel()
+        small = torus_network(base, TorusTopology.fitting(64))
+        big = torus_network(base, TorusTopology.fitting(22_528))  # Blue Waters
+        assert small.alpha_inter_node > base.alpha_inter_node
+        assert big.alpha_inter_node > small.alpha_inter_node
+
+    def test_other_fields_untouched(self):
+        base = NetworkModel()
+        derived = torus_network(base, TorusTopology((4, 4, 4)))
+        assert derived.send_overhead == base.send_overhead
+        assert derived.beta_inter_node == base.beta_inter_node
+
+
+class TestPlacement:
+    def test_linear_is_monotone_blocks(self):
+        p = linear_placement(100, 10)
+        assert p.min() == 0 and p.max() == 9
+        assert np.all(np.diff(p) >= 0)
+        assert np.all(np.bincount(p) == 10)
+
+    def test_blocked_groups_fit_in_cubes(self):
+        """Aligned groups of 8 consecutive items land inside one 2x2x2
+        block — bounded pairwise distance regardless of torus size
+        (linear placement's groups stretch along whole dimension lines
+        as the torus grows)."""
+        t = TorusTopology((8, 8, 8))
+        p = blocked_placement(t.n_nodes, t)
+        for s in range(0, t.n_nodes, 8):
+            group = p[s : s + 8]
+            worst = max(
+                t.hops(int(a), int(b)) for a in group for b in group
+            )
+            assert worst <= 3  # cube diameter
+        # Linear placement's 8-groups span an 8-long line: diameter 4
+        # (wraparound) in one dimension on this torus.
+        lin = linear_placement(t.n_nodes, t.n_nodes)
+        worst_lin = max(
+            t.hops(int(a), int(b)) for a in lin[:8] for b in lin[:8]
+        )
+        assert worst_lin >= 4
+
+    def test_blocked_covers_all_nodes(self):
+        t = TorusTopology((4, 4, 4))
+        p = blocked_placement(4 * t.n_nodes, t)
+        assert set(p.tolist()) == set(range(t.n_nodes))

@@ -1,0 +1,47 @@
+"""Shared fixtures: small deterministic populations and scenarios.
+
+Session-scoped where construction is costly; tests must not mutate
+fixture graphs (use ``graph.with_visits`` / copies for transforms).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Scenario, TransmissionModel
+from repro.synthpop import PopulationConfig, generate_population, state_population
+
+
+@pytest.fixture(scope="session")
+def tiny_graph():
+    """~300 persons — fast enough for per-test simulation."""
+    return generate_population(PopulationConfig(n_persons=300), 11, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def small_graph():
+    """~1000 persons with a visible heavy tail."""
+    return generate_population(PopulationConfig(n_persons=1000), 12, name="small")
+
+
+@pytest.fixture(scope="session")
+def wy_graph():
+    """Scaled Wyoming (Table I ratios), ~1000 persons."""
+    return state_population("WY", scale=2e-3, seed=5)
+
+
+@pytest.fixture()
+def tiny_scenario(tiny_graph):
+    return Scenario(
+        graph=tiny_graph,
+        n_days=12,
+        initial_infections=4,
+        seed=3,
+        transmission=TransmissionModel(2e-4),
+    )
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,83 @@
+"""Anxiety-driven contact reduction (paper §II-A behaviour modelling)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Scenario, SequentialSimulator, TransmissionModel
+from repro.core.interventions import (
+    AnxietyContactReduction,
+    InterventionSchedule,
+    parse_intervention_script,
+)
+from repro.synthpop.graph import LocationType
+from tests.core.test_interventions import _ctx
+
+
+class TestFilterBehaviour:
+    def test_no_effect_at_zero_prevalence(self, small_graph):
+        ctx = _ctx(small_graph, prevalence=0.0)
+        sched = InterventionSchedule([AnxietyContactReduction(strength=1.0)])
+        assert sched.visit_mask(ctx).all()
+
+    def test_saturated_prevalence_drops_discretionary(self, small_graph):
+        ctx = _ctx(small_graph, prevalence=0.5)
+        sched = InterventionSchedule(
+            [AnxietyContactReduction(strength=1.0, saturation=0.05)]
+        )
+        keep = sched.visit_mask(ctx)
+        types = small_graph.location_type[small_graph.visit_location]
+        discretionary = (types == LocationType.SHOP) | (types == LocationType.OTHER)
+        assert not np.any(keep & discretionary)
+        # Work, school and home visits untouched.
+        assert keep[~discretionary].all()
+
+    def test_response_scales_with_prevalence(self, small_graph):
+        def kept(prev):
+            ctx = _ctx(small_graph, prevalence=prev)
+            sched = InterventionSchedule(
+                [AnxietyContactReduction(strength=1.0, saturation=0.1)]
+            )
+            keep = sched.visit_mask(ctx)
+            types = small_graph.location_type[small_graph.visit_location]
+            disc = (types == LocationType.SHOP) | (types == LocationType.OTHER)
+            return keep[disc].mean()
+
+        assert kept(0.01) > kept(0.05) > kept(0.1)
+
+    def test_subset_matches_full(self, small_graph):
+        ctx = _ctx(small_graph, prevalence=0.03)
+        sched = InterventionSchedule([AnxietyContactReduction()])
+        full = sched.visit_mask(ctx)
+        rows = np.arange(0, small_graph.n_visits, 2)
+        np.testing.assert_array_equal(sched.visit_mask(ctx, rows=rows), full[rows])
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            AnxietyContactReduction(strength=1.5)
+        with pytest.raises(ValueError):
+            AnxietyContactReduction(saturation=0.0)
+
+    def test_script_directive(self):
+        sched = parse_intervention_script("anxiety strength=0.4 saturation=0.02")
+        iv = sched.interventions[0]
+        assert isinstance(iv, AnxietyContactReduction)
+        assert iv.strength == 0.4
+
+
+class TestEpidemiologicalEffect:
+    def test_anxiety_flattens_the_curve(self, wy_graph):
+        def run(interventions):
+            sc = Scenario(
+                graph=wy_graph, n_days=60, seed=11, initial_infections=5,
+                transmission=TransmissionModel(2e-4),
+                interventions=interventions,
+            )
+            return SequentialSimulator(sc).run()
+
+        base = run(InterventionSchedule())
+        anxious = run(
+            InterventionSchedule([AnxietyContactReduction(strength=0.9, saturation=0.03)])
+        )
+        # Fewer infections at the peak and overall.
+        assert max(anxious.curve.new_infections) < max(base.curve.new_infections)
+        assert anxious.total_infections < base.total_infections

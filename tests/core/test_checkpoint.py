@@ -1,0 +1,130 @@
+"""Checkpoint/restart: resumed runs must equal uninterrupted runs."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Scenario,
+    SchoolClosure,
+    SequentialSimulator,
+    TransmissionModel,
+    Vaccination,
+)
+from repro.core.checkpoint import load_checkpoint, run_with_checkpointing, save_checkpoint
+from repro.core.interventions import InterventionSchedule
+from repro.core.metrics import EpiCurve
+
+
+def _scenario(graph, n_days=14, with_interventions=False):
+    interventions = InterventionSchedule(
+        [Vaccination(coverage=0.2, day=1), SchoolClosure(prevalence=0.02, duration=4)]
+        if with_interventions
+        else []
+    )
+    return Scenario(
+        graph=graph, n_days=n_days, seed=6, initial_infections=6,
+        transmission=TransmissionModel(2.5e-4), interventions=interventions,
+    )
+
+
+class TestSaveLoad:
+    def test_state_roundtrip(self, tiny_graph, tmp_path):
+        sim = SequentialSimulator(_scenario(tiny_graph))
+        for _ in range(5):
+            sim.step_day()
+        path = tmp_path / "ck.npz"
+        save_checkpoint(sim, path)
+        restored = load_checkpoint(_scenario(tiny_graph), path)
+        assert restored.day == 5
+        np.testing.assert_array_equal(restored.health_state, sim.health_state)
+        np.testing.assert_array_equal(restored.days_remaining, sim.days_remaining)
+        np.testing.assert_array_equal(restored._ever_infected, sim._ever_infected)
+
+    def test_seed_mismatch_rejected(self, tiny_graph, tmp_path):
+        sim = SequentialSimulator(_scenario(tiny_graph))
+        sim.step_day()
+        save_checkpoint(sim, tmp_path / "ck.npz")
+        other = _scenario(tiny_graph)
+        other.seed = 999
+        with pytest.raises(ValueError, match="seed"):
+            load_checkpoint(other, tmp_path / "ck.npz")
+
+    def test_population_mismatch_rejected(self, tiny_graph, small_graph, tmp_path):
+        sim = SequentialSimulator(_scenario(tiny_graph))
+        sim.step_day()
+        save_checkpoint(sim, tmp_path / "ck.npz")
+        wrong = _scenario(small_graph)
+        wrong.seed = 6
+        with pytest.raises(ValueError, match="population"):
+            load_checkpoint(wrong, tmp_path / "ck.npz")
+
+
+class TestResumeEquality:
+    def test_resume_reproduces_uninterrupted_run(self, tiny_graph, tmp_path):
+        reference = SequentialSimulator(_scenario(tiny_graph)).run()
+
+        # Interrupted: run 6 days, checkpoint, rebuild from disk, finish.
+        sim = SequentialSimulator(_scenario(tiny_graph))
+        curve = EpiCurve()
+        for _ in range(6):
+            dr, _ = sim.step_day()
+            curve.record_day(dr.new_infections, dr.prevalence)
+        sim._checkpoint_curve = curve
+        save_checkpoint(sim, tmp_path / "ck.npz")
+
+        resumed = load_checkpoint(_scenario(tiny_graph), tmp_path / "ck.npz")
+        curve2 = resumed._checkpoint_curve
+        while resumed.day < 14:
+            dr, _ = resumed.step_day()
+            curve2.record_day(dr.new_infections, dr.prevalence)
+
+        assert curve2 == reference.curve
+
+    def test_resume_with_interventions(self, tiny_graph, tmp_path):
+        """Trigger state (fired closures, spent vaccinations) must survive."""
+        reference = SequentialSimulator(_scenario(tiny_graph, with_interventions=True)).run()
+
+        sim = SequentialSimulator(_scenario(tiny_graph, with_interventions=True))
+        curve = EpiCurve()
+        for _ in range(7):
+            dr, _ = sim.step_day()
+            curve.record_day(dr.new_infections, dr.prevalence)
+        sim._checkpoint_curve = curve
+        save_checkpoint(sim, tmp_path / "ck.npz")
+
+        resumed = load_checkpoint(
+            _scenario(tiny_graph, with_interventions=True), tmp_path / "ck.npz"
+        )
+        curve2 = resumed._checkpoint_curve
+        while resumed.day < 14:
+            dr, _ = resumed.step_day()
+            curve2.record_day(dr.new_infections, dr.prevalence)
+        assert curve2 == reference.curve
+
+
+class TestRunWithCheckpointing:
+    def test_full_run_matches_plain(self, tiny_graph, tmp_path):
+        plain = SequentialSimulator(_scenario(tiny_graph)).run()
+        ck = run_with_checkpointing(
+            _scenario(tiny_graph), tmp_path / "ck.npz", checkpoint_every=4
+        )
+        assert ck.curve == plain.curve
+        assert ck.final_histogram == plain.final_histogram
+
+    def test_interrupted_and_resumed(self, tiny_graph, tmp_path):
+        plain = SequentialSimulator(_scenario(tiny_graph)).run()
+        # First attempt "crashes" after day 8 (we emulate by running a
+        # short-horizon copy that checkpoints at day 8).
+        partial = _scenario(tiny_graph, n_days=8)
+        run_with_checkpointing(partial, tmp_path / "ck.npz", checkpoint_every=8)
+        # Wait: horizon 8 finishes cleanly without a trailing checkpoint;
+        # force one at day 8 by running with checkpoint_every=4.
+        run_with_checkpointing(
+            _scenario(tiny_graph, n_days=8), tmp_path / "ck.npz",
+            checkpoint_every=4, resume=False,
+        )
+        # Resume to the full horizon.
+        result = run_with_checkpointing(
+            _scenario(tiny_graph), tmp_path / "ck.npz", checkpoint_every=4
+        )
+        assert result.curve == plain.curve

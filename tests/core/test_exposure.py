@@ -1,0 +1,105 @@
+"""Location-phase exposure computation: grouping invariance.
+
+The keystone property for parallel correctness: splitting the visit
+rows by location across multiple calls yields exactly the infections of
+one whole-population call.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Scenario, TransmissionModel
+from repro.core.exposure import compute_infections
+from repro.util.rng import RngFactory
+
+
+def _setup(graph, infected_frac=0.1, seed=3):
+    sc = Scenario(graph=graph, seed=seed, transmission=TransmissionModel(3e-4))
+    d = sc.disease
+    state, remaining = d.initial_health(graph.n_persons)
+    rng = np.random.default_rng(seed)
+    sick = rng.choice(graph.n_persons, int(graph.n_persons * infected_frac), replace=False)
+    state[sick] = d.state_index("infectious_symptomatic")
+    return sc, state
+
+
+def _key(events):
+    return sorted((e.person, e.location, e.minute) for e in events)
+
+
+class TestGroupingInvariance:
+    def test_split_by_location_equals_whole(self, tiny_graph):
+        sc, state = _setup(tiny_graph)
+        f = RngFactory(sc.seed)
+        rows = np.arange(tiny_graph.n_visits, dtype=np.int64)
+        whole = compute_infections(
+            rows, tiny_graph, state, sc.disease, sc.transmission, 0, f
+        )
+        # Partition rows by location parity — two "LocationManagers".
+        locs = tiny_graph.visit_location
+        part_a = rows[locs[rows] % 2 == 0]
+        part_b = rows[locs[rows] % 2 == 1]
+        a = compute_infections(part_a, tiny_graph, state, sc.disease, sc.transmission, 0, f)
+        b = compute_infections(part_b, tiny_graph, state, sc.disease, sc.transmission, 0, f)
+        assert _key(whole.infections) == _key(a.infections + b.infections)
+
+    def test_row_order_irrelevant(self, tiny_graph):
+        sc, state = _setup(tiny_graph)
+        f = RngFactory(sc.seed)
+        rows = np.arange(tiny_graph.n_visits, dtype=np.int64)
+        fwd = compute_infections(rows, tiny_graph, state, sc.disease, sc.transmission, 0, f)
+        rev = compute_infections(rows[::-1], tiny_graph, state, sc.disease, sc.transmission, 0, f)
+        assert _key(fwd.infections) == _key(rev.infections)
+
+    def test_no_infectious_no_infections(self, tiny_graph):
+        sc, _ = _setup(tiny_graph)
+        d = sc.disease
+        state, _ = d.initial_health(tiny_graph.n_persons)
+        rows = np.arange(tiny_graph.n_visits, dtype=np.int64)
+        res = compute_infections(rows, tiny_graph, state, d, sc.transmission, 0, RngFactory(0))
+        assert res.infections == []
+
+    def test_empty_rows(self, tiny_graph):
+        sc, state = _setup(tiny_graph)
+        res = compute_infections(
+            np.empty(0, dtype=np.int64), tiny_graph, state, sc.disease,
+            sc.transmission, 0, RngFactory(0),
+        )
+        assert res.infections == []
+        assert res.events == {}
+
+
+class TestStats:
+    def test_event_counts_are_two_per_visit(self, tiny_graph):
+        sc, state = _setup(tiny_graph)
+        rows = np.arange(tiny_graph.n_visits, dtype=np.int64)
+        res = compute_infections(
+            rows, tiny_graph, state, sc.disease, sc.transmission, 0,
+            RngFactory(0), collect_stats=True,
+        )
+        assert sum(res.events.values()) == 2 * tiny_graph.n_visits
+
+    def test_merge_accumulates(self, tiny_graph):
+        sc, state = _setup(tiny_graph)
+        rows = np.arange(tiny_graph.n_visits, dtype=np.int64)
+        a = compute_infections(
+            rows, tiny_graph, state, sc.disease, sc.transmission, 0,
+            RngFactory(0), collect_stats=True,
+        )
+        before = sum(a.events.values())
+        b = compute_infections(
+            rows, tiny_graph, state, sc.disease, sc.transmission, 1,
+            RngFactory(0), collect_stats=True,
+        )
+        a.merge(b)
+        assert sum(a.events.values()) == before + sum(b.events.values())
+
+    def test_infection_minutes_within_day(self, tiny_graph):
+        sc, state = _setup(tiny_graph, infected_frac=0.3)
+        rows = np.arange(tiny_graph.n_visits, dtype=np.int64)
+        res = compute_infections(
+            rows, tiny_graph, state, sc.disease, sc.transmission, 0, RngFactory(3)
+        )
+        assert res.infections, "expected some transmissions at 30% prevalence"
+        for ev in res.infections:
+            assert 0 < ev.minute <= 1440

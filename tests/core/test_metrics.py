@@ -1,0 +1,56 @@
+"""EpiCurve bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.core.disease import sir_model
+from repro.core.metrics import EpiCurve, state_histogram
+
+
+class TestEpiCurve:
+    def test_cumulative_accumulates(self):
+        c = EpiCurve()
+        c.record_day(3, 0.1)
+        c.record_day(5, 0.2)
+        assert c.cumulative_infections == [3, 8]
+
+    def test_peak_day(self):
+        c = EpiCurve()
+        for n in (1, 4, 9, 2):
+            c.record_day(n, 0.0)
+        assert c.peak_day == 2
+
+    def test_peak_day_empty_raises(self):
+        with pytest.raises(ValueError):
+            EpiCurve().peak_day
+
+    def test_attack_rate(self):
+        c = EpiCurve()
+        c.record_day(10, 0.0)
+        c.record_day(10, 0.0)
+        assert c.attack_rate(100) == pytest.approx(0.2)
+        assert EpiCurve().attack_rate(100) == 0.0
+
+    def test_as_arrays(self):
+        c = EpiCurve()
+        c.record_day(1, 0.5)
+        arrays = c.as_arrays()
+        np.testing.assert_array_equal(arrays["new_infections"], [1])
+        np.testing.assert_array_equal(arrays["prevalence"], [0.5])
+
+    def test_equality(self):
+        a, b = EpiCurve(), EpiCurve()
+        a.record_day(1, 0.1)
+        b.record_day(1, 0.1)
+        assert a == b
+        b.record_day(2, 0.1)
+        assert a != b
+        assert (a == 42) is NotImplemented or not (a == 42)
+
+
+class TestStateHistogram:
+    def test_counts_by_name(self):
+        m = sir_model()
+        state = np.array([0, 0, 1, 3, 3, 3], dtype=np.int32)
+        h = state_histogram(state, m)
+        assert h == {"S": 2, "E": 1, "I": 0, "R": 3}

@@ -1,0 +1,105 @@
+"""Unit tests of the parallel implementation's building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.charm.machine import Machine, MachineConfig
+from repro.core.parallel import ComputeCostModel, Distribution, PhaseTimes
+from repro.partition import partition_bipartite, round_robin_partition
+
+
+class TestDistribution:
+    def test_from_partition_maps_parts_to_chares(self, tiny_graph):
+        m = Machine(MachineConfig(n_nodes=2, cores_per_node=4, smp=False))
+        bp = round_robin_partition(tiny_graph, m.n_pes * 2)
+        dist = Distribution.from_partition(bp, m)
+        assert dist.n_pm == dist.n_lm == m.n_pes * 2
+        np.testing.assert_array_equal(dist.person_chare, bp.person_part)
+        np.testing.assert_array_equal(dist.location_chare, bp.location_part)
+        # Chares wrap onto PEs round-robin.
+        assert dist.pm_placement.max() < m.n_pes
+        counts = np.bincount(dist.pm_placement, minlength=m.n_pes)
+        assert counts.max() - counts.min() <= 1
+
+    def test_every_person_and_location_owned(self, tiny_graph):
+        m = Machine(MachineConfig(n_nodes=1, cores_per_node=4, smp=False))
+        bp = partition_bipartite(tiny_graph, m.n_pes)
+        dist = Distribution.from_partition(bp, m)
+        owned_p = np.concatenate(
+            [np.flatnonzero(dist.person_chare == c) for c in range(dist.n_pm)]
+        )
+        assert sorted(owned_p.tolist()) == list(range(tiny_graph.n_persons))
+
+    def test_accepts_machine_config_directly(self, tiny_graph):
+        mc = MachineConfig(n_nodes=1, cores_per_node=4, smp=False)
+        bp = round_robin_partition(tiny_graph, 4)
+        dist = Distribution.from_partition(bp, mc)
+        assert dist.pm_placement.max() < 4
+
+
+class TestComputeCostModel:
+    def test_defaults_positive(self):
+        cc = ComputeCostModel()
+        assert cc.person_health_cost > 0
+        assert cc.visit_compute_cost > 0
+        assert cc.transition_cost > 0
+        assert cc.infect_apply_cost > 0
+
+    def test_location_cost_scales_with_events(self):
+        cc = ComputeCostModel()
+        assert cc.location_static.evaluate(10_000.0) > cc.location_static.evaluate(10.0)
+
+
+class TestPhaseTimes:
+    def test_derived_durations(self):
+        pt = PhaseTimes(day=0, start=1.0, visits_done=3.0, locations_done=6.0, day_done=7.0)
+        assert pt.person_phase == 2.0
+        assert pt.location_phase == 3.0
+        assert pt.total == 6.0
+
+
+class TestNamespacing:
+    def test_namespaced_objects_coexist(self, tiny_graph):
+        """Two namespaced sims on one runtime create disjoint arrays."""
+        from repro.charm.scheduler import RuntimeSimulator
+        from repro.core import Scenario
+        from repro.core.parallel import ParallelEpiSimdemics
+
+        mc = MachineConfig(n_nodes=1, cores_per_node=4, smp=False)
+        m = Machine(mc)
+        rt = RuntimeSimulator(mc)
+        part = round_robin_partition(tiny_graph, m.n_pes)
+        for ns in ("a.", "b."):
+            ParallelEpiSimdemics(
+                Scenario(graph=tiny_graph, n_days=2, seed=1),
+                mc,
+                Distribution.from_partition(part, m),
+                runtime=rt,
+                namespace=ns,
+            )
+        assert "a.pm" in rt.arrays and "b.pm" in rt.arrays
+        assert "a.visits" in rt.aggregators and "b.visits" in rt.aggregators
+        assert "a.visits_phase" in rt._detectors and "b.visits_phase" in rt._detectors
+
+    def test_duplicate_namespace_rejected(self, tiny_graph):
+        from repro.charm.scheduler import RuntimeSimulator
+        from repro.core import Scenario
+        from repro.core.parallel import ParallelEpiSimdemics
+
+        mc = MachineConfig(n_nodes=1, cores_per_node=4, smp=False)
+        m = Machine(mc)
+        rt = RuntimeSimulator(mc)
+        part = round_robin_partition(tiny_graph, m.n_pes)
+
+        def make():
+            return ParallelEpiSimdemics(
+                Scenario(graph=tiny_graph, n_days=2, seed=1),
+                mc,
+                Distribution.from_partition(part, m),
+                runtime=rt,
+                namespace="dup.",
+            )
+
+        make()
+        with pytest.raises(ValueError):
+            make()

@@ -1,0 +1,58 @@
+"""Transmission function properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.transmission import TransmissionModel
+
+
+class TestHazard:
+    def test_zero_overlap_zero_hazard(self):
+        tm = TransmissionModel(1e-4)
+        assert tm.hazard(0.0, 1.0, 1.0) == 0.0
+
+    def test_hazard_additivity_equals_independent_trials(self):
+        # P(infected by A or B) with independent per-pair trials must equal
+        # the probability from summed hazards.
+        tm = TransmissionModel(3e-4)
+        h1 = tm.hazard(120.0, 1.0, 1.0)
+        h2 = tm.hazard(45.0, 0.5, 1.0)
+        p_joint = tm.probability(h1 + h2)
+        p_indep = 1.0 - (1.0 - tm.probability(h1)) * (1.0 - tm.probability(h2))
+        assert p_joint == pytest.approx(p_indep, rel=1e-12)
+
+    def test_small_rate_matches_poisson_form(self):
+        tm = TransmissionModel(1e-6)
+        h = tm.hazard(100.0, 1.0, 1.0)
+        assert h == pytest.approx(100.0 * 1e-6, rel=1e-3)
+
+    def test_vectorised(self):
+        tm = TransmissionModel(1e-4)
+        h = tm.hazard(np.array([10.0, 20.0]), np.array([1.0, 0.5]), 1.0)
+        assert h.shape == (2,)
+        assert h[0] > h[1] * 0.9
+
+    @given(
+        st.floats(0.0, 1440.0),
+        st.floats(0.0, 1.0),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_probability_in_unit_interval(self, tau, rho, sigma):
+        tm = TransmissionModel(5e-4)
+        p = tm.pair_probability(tau, rho, sigma)
+        assert 0.0 <= p <= 1.0
+
+    @given(st.floats(1.0, 1000.0), st.floats(1.0, 1000.0))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_exposure(self, a, b):
+        tm = TransmissionModel(2e-4)
+        lo, hi = min(a, b), max(a, b)
+        assert tm.pair_probability(lo, 1.0, 1.0) <= tm.pair_probability(hi, 1.0, 1.0)
+
+    def test_invalid_transmissibility(self):
+        with pytest.raises(ValueError):
+            TransmissionModel(1.0)
+        with pytest.raises(ValueError):
+            TransmissionModel(-0.1)

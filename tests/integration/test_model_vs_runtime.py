@@ -1,0 +1,73 @@
+"""Validate the analytic phase-cost model against the runtime simulator.
+
+The analytic model (``repro.analysis.scaling``) exists to reach core
+counts the event-driven runtime cannot; its credibility rests on
+agreeing with the runtime where both can run.  We check:
+
+* the per-day time agrees within a small factor (the analytic model
+  ignores pipelining and event-level contention, so exact equality is
+  not expected);
+* both modes *rank* data distributions the same way (RR vs GP-split) —
+  ranking is what Figure 13 actually claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.scaling import PhaseCostModel
+from repro.charm.machine import Machine, MachineConfig
+from repro.core import Scenario, TransmissionModel
+from repro.core.parallel import Distribution, ParallelEpiSimdemics
+from repro.partition import partition_bipartite, round_robin_partition, split_heavy_locations
+
+
+MACHINE = MachineConfig(n_nodes=4, cores_per_node=4, smp=True, processes_per_node=1)
+
+
+def _runtime_time_per_day(graph, partition, n_days=4, infected_frac_seed=11):
+    sc = Scenario(
+        graph=graph, n_days=n_days, seed=infected_frac_seed, initial_infections=10,
+        transmission=TransmissionModel(2e-4),
+    )
+    dist = Distribution.from_partition(partition, Machine(MACHINE))
+    run = ParallelEpiSimdemics(sc, MACHINE, dist).run()
+    return run.time_per_day
+
+
+class TestModelAgreement:
+    @pytest.fixture(scope="class")
+    def setup(self, request):
+        graph = request.getfixturevalue("small_graph")
+        m = Machine(MACHINE)
+        rr = round_robin_partition(graph, m.n_pes)
+        gp = partition_bipartite(graph, m.n_pes)
+        return graph, m, rr, gp
+
+    def test_day_time_within_factor(self, setup):
+        graph, m, rr, _ = setup
+        measured = _runtime_time_per_day(graph, rr)
+        model = PhaseCostModel(infected_fraction=0.05)
+        predicted = model.day_time(graph, rr, m).total
+        ratio = measured / predicted
+        assert 0.25 < ratio < 4.0, f"model off by {ratio:.2f}x"
+
+    def test_both_modes_prefer_gp_over_rr(self, setup):
+        graph, m, rr, gp = setup
+        t_rr = _runtime_time_per_day(graph, rr)
+        t_gp = _runtime_time_per_day(graph, gp)
+        model = PhaseCostModel(infected_fraction=0.05)
+        p_rr = model.day_time(graph, rr, m).total
+        p_gp = model.day_time(graph, gp, m).total
+        assert (t_gp < t_rr) == (p_gp < p_rr)
+
+    def test_split_improves_in_both_modes(self, setup):
+        graph, m, rr, _ = setup
+        sr = split_heavy_locations(graph, max_partitions=512)
+        rr_split = round_robin_partition(sr.graph, m.n_pes)
+        t_before = _runtime_time_per_day(graph, rr)
+        t_after = _runtime_time_per_day(sr.graph, rr_split)
+        model = PhaseCostModel(infected_fraction=0.05)
+        p_before = model.day_time(graph, rr, m).total
+        p_after = model.day_time(sr.graph, rr_split, m).total
+        assert t_after < t_before
+        assert p_after < p_before

@@ -1,0 +1,145 @@
+"""The keystone integration property: the chare-parallel execution on
+the simulated runtime reproduces the sequential reference *exactly* —
+same epidemic curve, same final state — for every data distribution,
+machine shape, synchronisation protocol and aggregation setting.
+
+This is the paper's (implicit) correctness requirement: data
+distribution strategies are performance choices, never semantic ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.charm.machine import Machine, MachineConfig
+from repro.core import Scenario, SequentialSimulator, TransmissionModel
+from repro.core.interventions import (
+    InterventionSchedule,
+    SchoolClosure,
+    StayHomeWhenSymptomatic,
+    Vaccination,
+)
+from repro.core.parallel import Distribution, ParallelEpiSimdemics
+from repro.partition import partition_bipartite, round_robin_partition, split_heavy_locations
+
+
+def _scenario(graph, n_days=10, seed=7, interventions=None):
+    return Scenario(
+        graph=graph,
+        n_days=n_days,
+        seed=seed,
+        initial_infections=6,
+        transmission=TransmissionModel(2e-4),
+        interventions=interventions or InterventionSchedule(),
+    )
+
+
+def _run_parallel(graph, partition, machine, **kwargs):
+    sc = _scenario(graph, **{k: kwargs.pop(k) for k in list(kwargs) if k in ("n_days", "seed", "interventions")})
+    dist = Distribution.from_partition(partition, Machine(machine))
+    return ParallelEpiSimdemics(sc, machine, dist, **kwargs).run()
+
+
+SMALL_MACHINE = MachineConfig(n_nodes=2, cores_per_node=4, smp=True, processes_per_node=1)
+
+
+class TestExactEquivalence:
+    def test_rr_distribution(self, tiny_graph):
+        seq = SequentialSimulator(_scenario(tiny_graph)).run()
+        m = Machine(SMALL_MACHINE)
+        par = _run_parallel(tiny_graph, round_robin_partition(tiny_graph, m.n_pes), SMALL_MACHINE)
+        assert par.result.curve == seq.curve
+        assert par.result.final_histogram == seq.final_histogram
+
+    def test_gp_distribution(self, tiny_graph):
+        seq = SequentialSimulator(_scenario(tiny_graph)).run()
+        m = Machine(SMALL_MACHINE)
+        gp = partition_bipartite(tiny_graph, m.n_pes)
+        par = _run_parallel(tiny_graph, gp, SMALL_MACHINE)
+        assert par.result.curve == seq.curve
+
+    def test_split_graph_distribution(self, tiny_graph):
+        sr = split_heavy_locations(tiny_graph, max_partitions=64)
+        seq = SequentialSimulator(_scenario(sr.graph)).run()
+        m = Machine(SMALL_MACHINE)
+        par = _run_parallel(sr.graph, round_robin_partition(sr.graph, m.n_pes), SMALL_MACHINE)
+        assert par.result.curve == seq.curve
+
+    def test_overdecomposition(self, tiny_graph):
+        """More chares than PEs (the Charm++ point) changes nothing."""
+        seq = SequentialSimulator(_scenario(tiny_graph)).run()
+        m = Machine(SMALL_MACHINE)
+        part = round_robin_partition(tiny_graph, m.n_pes * 4)
+        par = _run_parallel(tiny_graph, part, SMALL_MACHINE)
+        assert par.result.curve == seq.curve
+
+    def test_non_smp_machine(self, tiny_graph):
+        seq = SequentialSimulator(_scenario(tiny_graph)).run()
+        mc = MachineConfig(n_nodes=2, cores_per_node=4, smp=False)
+        par = _run_parallel(tiny_graph, round_robin_partition(tiny_graph, 8), mc)
+        assert par.result.curve == seq.curve
+
+    def test_qd_sync(self, tiny_graph):
+        seq = SequentialSimulator(_scenario(tiny_graph)).run()
+        m = Machine(SMALL_MACHINE)
+        par = _run_parallel(
+            tiny_graph, round_robin_partition(tiny_graph, m.n_pes), SMALL_MACHINE, sync="qd"
+        )
+        assert par.result.curve == seq.curve
+
+    def test_no_aggregation(self, tiny_graph):
+        seq = SequentialSimulator(_scenario(tiny_graph)).run()
+        m = Machine(SMALL_MACHINE)
+        par = _run_parallel(
+            tiny_graph, round_robin_partition(tiny_graph, m.n_pes), SMALL_MACHINE,
+            aggregation_bytes=0,
+        )
+        assert par.result.curve == seq.curve
+
+    def test_single_pe_machine(self, tiny_graph):
+        seq = SequentialSimulator(_scenario(tiny_graph)).run()
+        mc = MachineConfig(n_nodes=1, cores_per_node=1, smp=False)
+        par = _run_parallel(tiny_graph, round_robin_partition(tiny_graph, 1), mc)
+        assert par.result.curve == seq.curve
+
+
+class TestEquivalenceWithInterventions:
+    def test_full_intervention_stack(self, tiny_graph):
+        def interventions():
+            return InterventionSchedule(
+                [
+                    Vaccination(coverage=0.3, day=0),
+                    SchoolClosure(prevalence=0.02, duration=5),
+                    StayHomeWhenSymptomatic(compliance=0.5),
+                ]
+            )
+
+        seq = SequentialSimulator(_scenario(tiny_graph, interventions=interventions())).run()
+        m = Machine(SMALL_MACHINE)
+        par = _run_parallel(
+            tiny_graph, round_robin_partition(tiny_graph, m.n_pes), SMALL_MACHINE,
+            interventions=interventions(),
+        )
+        assert par.result.curve == seq.curve
+        assert par.result.final_histogram == seq.final_histogram
+
+
+class TestTimingSanity:
+    def test_phase_times_recorded_per_day(self, tiny_graph):
+        m = Machine(SMALL_MACHINE)
+        par = _run_parallel(tiny_graph, round_robin_partition(tiny_graph, m.n_pes), SMALL_MACHINE)
+        assert len(par.phase_times) == 10
+        for pt in par.phase_times:
+            assert pt.start <= pt.visits_done <= pt.locations_done <= pt.day_done
+
+    def test_more_pes_not_slower_virtual_time(self, small_graph):
+        """Strong-scaling sanity on the runtime simulator itself."""
+        def run(nodes):
+            mc = MachineConfig(n_nodes=nodes, cores_per_node=4, smp=True, processes_per_node=1)
+            m = Machine(mc)
+            sc = _scenario(small_graph, n_days=4)
+            dist = Distribution.from_partition(
+                partition_bipartite(small_graph, m.n_pes), m
+            )
+            return ParallelEpiSimdemics(sc, mc, dist).run().time_per_day
+
+        assert run(8) < run(1)

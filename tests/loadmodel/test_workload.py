@@ -1,0 +1,70 @@
+"""Vertex-weight assignment for multi-constraint partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.loadmodel.dynamic import DynamicLoadModel
+from repro.loadmodel.workload import (
+    WorkloadModel,
+    location_loads,
+    person_loads,
+    vertex_weight_matrix,
+)
+
+
+class TestPersonLoads:
+    def test_equals_visit_counts(self, tiny_graph):
+        np.testing.assert_array_equal(person_loads(tiny_graph), tiny_graph.person_degrees)
+
+
+class TestLocationLoads:
+    def test_monotone_in_visits(self, tiny_graph):
+        loads = location_loads(tiny_graph)
+        counts = tiny_graph.location_visit_counts
+        order = np.argsort(counts)
+        # Loads sorted by visit count must be non-decreasing.
+        assert np.all(np.diff(loads[order]) >= -1e-12)
+
+    def test_positive(self, tiny_graph):
+        assert np.all(location_loads(tiny_graph) > 0)
+
+
+class TestWeightMatrix:
+    def test_shape_and_disjoint_constraints(self, tiny_graph):
+        w = vertex_weight_matrix(tiny_graph)
+        n, m = tiny_graph.n_persons, tiny_graph.n_locations
+        assert w.shape == (n + m, 2)
+        assert np.all(w[:n, 1] == 0)
+        assert np.all(w[n:, 0] == 0)
+        assert np.all(w[:n, 0] >= 1)
+        assert np.all(w[n:, 1] >= 1)
+
+    def test_int_scale_resolution(self, tiny_graph):
+        coarse = WorkloadModel(int_scale=1.0)
+        fine = WorkloadModel(int_scale=1e8)
+        wc = coarse.location_weights(tiny_graph)
+        wf = fine.location_weights(tiny_graph)
+        # Finer scaling must distinguish more load levels.
+        assert len(np.unique(wf)) >= len(np.unique(wc))
+
+
+class TestDynamicModel:
+    def test_linear_composition(self):
+        m = DynamicLoadModel(c_events=1.0, c_interactions=2.0, c_recip=3.0)
+        assert m.evaluate(1.0, 1.0, 1.0) == pytest.approx(6.0)
+
+    def test_vectorised(self):
+        m = DynamicLoadModel()
+        out = m.evaluate(np.array([2.0, 4.0]), np.array([10.0, 0.0]))
+        assert out.shape == (2,)
+        assert out[0] > out[1]
+
+    def test_defaults_are_minor_share(self):
+        """Dynamic cost should be a minority of a busy location's total."""
+        from repro.loadmodel.static import PAPER_STATIC_MODEL
+
+        events = 2000.0
+        interactions = 500.0
+        dyn = DynamicLoadModel().evaluate(events, interactions)
+        sta = PAPER_STATIC_MODEL.evaluate(events)
+        assert dyn < sta

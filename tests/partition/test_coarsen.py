@@ -1,0 +1,106 @@
+"""Coarsening: matching validity and weight conservation."""
+
+import numpy as np
+import pytest
+
+from repro.partition.coarsen import coarsen_graph, contract, heavy_edge_matching
+from repro.partition.csr import CSRGraph, bipartite_to_csr
+
+
+def _grid_graph(rows=6, cols=6):
+    """Unweighted grid — a well-behaved matching target."""
+    n = rows * cols
+    us, vs = [], []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                us.append(v); vs.append(v + 1)
+            if r + 1 < rows:
+                us.append(v); vs.append(v + cols)
+    w = np.ones(len(us), dtype=np.int64)
+    return CSRGraph.from_edge_list(n, np.array(us), np.array(vs), w,
+                                   np.ones((n, 2), dtype=np.int64))
+
+
+class TestMatching:
+    def test_matching_is_symmetric(self, rng):
+        g = _grid_graph()
+        match = heavy_edge_matching(g, rng)
+        for v in range(g.n_vertices):
+            assert match[match[v]] == v
+
+    def test_matched_pairs_are_neighbors(self, rng):
+        g = _grid_graph()
+        match = heavy_edge_matching(g, rng)
+        for v in range(g.n_vertices):
+            if match[v] != v:
+                assert match[v] in g.neighbors(v)
+
+    def test_prefers_heavy_edges(self, rng):
+        # Triangle with one heavy edge: the heavy pair should match.
+        g = CSRGraph.from_edge_list(
+            3, np.array([0, 1, 0]), np.array([1, 2, 2]),
+            np.array([100, 1, 1]), np.ones((3, 1), dtype=np.int64),
+        )
+        match = heavy_edge_matching(g, rng)
+        assert match[0] == 1 and match[1] == 0
+
+
+class TestContract:
+    def test_vertex_weight_conserved(self, rng):
+        g = _grid_graph()
+        match = heavy_edge_matching(g, rng)
+        coarse, cmap = contract(g, match)
+        np.testing.assert_array_equal(coarse.total_vwgt(), g.total_vwgt())
+
+    def test_edge_weight_conserved_minus_contracted(self, rng):
+        g = _grid_graph()
+        match = heavy_edge_matching(g, rng)
+        coarse, cmap = contract(g, match)
+        # Every surviving edge's weight must appear; contracted edges vanish.
+        src = np.repeat(np.arange(g.n_vertices), np.diff(g.xadj))
+        crossing = cmap[src] != cmap[g.adjncy]
+        assert coarse.adjwgt.sum() == g.adjwgt[crossing].sum()
+
+    def test_map_is_dense(self, rng):
+        g = _grid_graph()
+        match = heavy_edge_matching(g, rng)
+        coarse, cmap = contract(g, match)
+        assert set(cmap.tolist()) == set(range(coarse.n_vertices))
+
+    def test_coarse_graph_valid(self, rng):
+        g = _grid_graph()
+        coarse, _ = contract(g, heavy_edge_matching(g, rng))
+        coarse.validate()
+
+
+class TestCoarsenGraph:
+    def test_hierarchy_shrinks(self, rng):
+        g = _grid_graph(10, 10)
+        levels = coarsen_graph(g, rng, coarsen_to=10)
+        sizes = [lv.graph.n_vertices for lv in levels]
+        assert sizes[0] == 100
+        assert all(b < a for a, b in zip(sizes, sizes[1:]))
+
+    def test_stops_at_target(self, rng):
+        g = _grid_graph(10, 10)
+        levels = coarsen_graph(g, rng, coarsen_to=30)
+        assert levels[-1].graph.n_vertices <= max(30, 100)
+
+    def test_maps_chain_to_finest(self, rng):
+        g = _grid_graph(8, 8)
+        levels = coarsen_graph(g, rng, coarsen_to=8)
+        # Composing the maps must send every fine vertex to a coarse one.
+        ids = np.arange(g.n_vertices)
+        for lv in levels[:-1]:
+            ids = lv.coarse_map[ids]
+        assert ids.max() < levels[-1].graph.n_vertices
+
+    def test_works_on_bipartite_social_graph(self, tiny_graph, rng):
+        csr = bipartite_to_csr(tiny_graph)
+        levels = coarsen_graph(csr, rng, coarsen_to=100)
+        assert levels[-1].graph.n_vertices < csr.n_vertices
+        np.testing.assert_array_equal(
+            levels[-1].graph.total_vwgt(), csr.total_vwgt()
+        )

@@ -1,0 +1,97 @@
+"""Multilevel k-way partitioner: correctness and quality."""
+
+import numpy as np
+import pytest
+
+from repro.partition import (
+    PartitionerOptions,
+    imbalance,
+    partition_bipartite,
+    partition_loads,
+    round_robin_partition,
+    edge_cut,
+)
+from repro.partition.csr import CSRGraph
+from repro.partition.metis import MultilevelPartitioner
+
+
+def _two_cliques(m=8, bridge_w=1):
+    """Two m-cliques joined by one light edge — the obvious bisection."""
+    n = 2 * m
+    us, vs, ws = [], [], []
+    for base in (0, m):
+        for i in range(m):
+            for j in range(i + 1, m):
+                us.append(base + i); vs.append(base + j); ws.append(10)
+    us.append(0); vs.append(m); ws.append(bridge_w)
+    return CSRGraph.from_edge_list(
+        n, np.array(us), np.array(vs), np.array(ws), np.ones((n, 1), dtype=np.int64)
+    )
+
+
+class TestBisection:
+    def test_two_cliques_split_cleanly(self):
+        g = _two_cliques()
+        part = MultilevelPartitioner().bisect(g, 0.5)
+        # Each clique must land wholly in one part.
+        first = part[:8]
+        second = part[8:]
+        assert len(set(first.tolist())) == 1
+        assert len(set(second.tolist())) == 1
+        assert first[0] != second[0]
+
+    def test_balance_within_tolerance(self):
+        g = _two_cliques(m=10)
+        opts = PartitionerOptions(ubfactor=1.1)
+        part = MultilevelPartitioner(opts).bisect(g, 0.5)
+        w0 = g.vwgt[part == 0].sum()
+        assert 0.4 * g.vwgt.sum() <= w0 <= 0.6 * g.vwgt.sum()
+
+
+class TestKway:
+    def test_every_vertex_assigned(self, tiny_graph):
+        bp = partition_bipartite(tiny_graph, 8)
+        assert bp.person_part.shape[0] == tiny_graph.n_persons
+        assert bp.location_part.shape[0] == tiny_graph.n_locations
+        assert set(np.concatenate([bp.person_part, bp.location_part]).tolist()) <= set(range(8))
+
+    def test_all_parts_nonempty(self, tiny_graph):
+        bp = partition_bipartite(tiny_graph, 8)
+        used = set(bp.person_part.tolist()) | set(bp.location_part.tolist())
+        assert used == set(range(8))
+
+    def test_k1_trivial(self, tiny_graph):
+        bp = partition_bipartite(tiny_graph, 1)
+        assert np.all(bp.person_part == 0)
+        assert np.all(bp.location_part == 0)
+
+    def test_k_larger_than_vertices(self):
+        g = _two_cliques(m=3)
+        part = MultilevelPartitioner().kway(g, 16)
+        assert part.max() < 16
+
+    def test_invalid_k(self, tiny_graph):
+        with pytest.raises(ValueError):
+            partition_bipartite(tiny_graph, 0)
+
+    def test_deterministic_under_seed(self, tiny_graph):
+        a = partition_bipartite(tiny_graph, 4, options=PartitionerOptions(seed=5))
+        b = partition_bipartite(tiny_graph, 4, options=PartitionerOptions(seed=5))
+        np.testing.assert_array_equal(a.person_part, b.person_part)
+        np.testing.assert_array_equal(a.location_part, b.location_part)
+
+
+class TestQualityVsRoundRobin:
+    def test_gp_cuts_fewer_edges_than_rr(self, small_graph):
+        k = 8
+        gp = partition_bipartite(small_graph, k)
+        rr = round_robin_partition(small_graph, k)
+        assert edge_cut(small_graph, gp) < edge_cut(small_graph, rr)
+
+    def test_gp_respects_both_constraints_reasonably(self, small_graph):
+        bp = partition_bipartite(small_graph, 4)
+        ratios = imbalance(partition_loads(small_graph, bp))
+        # Person constraint should balance well; location constraint is
+        # bounded by the heavy tail but must beat gross imbalance.
+        assert ratios[0] < 1.5
+        assert ratios[1] < 4.0

@@ -1,0 +1,132 @@
+"""Property-based tests: partitioner and splitLoc invariants on random inputs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.partition.coarsen import coarsen_graph, contract, heavy_edge_matching
+from repro.partition.csr import CSRGraph
+from repro.partition.metis import MultilevelPartitioner, PartitionerOptions
+from repro.partition.quality import csr_edge_cut
+from repro.partition.refine import all_gains, move_gain
+from repro.synthpop import PopulationConfig, generate_population
+from repro.partition.splitloc import split_heavy_locations
+
+
+@st.composite
+def random_graph(draw):
+    """A connected-ish random weighted graph with 2-constraint weights."""
+    n = draw(st.integers(4, 60))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    # Spanning chain guarantees no isolated vertices complicate matching.
+    us = list(range(n - 1))
+    vs = list(range(1, n))
+    extra = draw(st.integers(0, 3 * n))
+    for _ in range(extra):
+        a, b = rng.integers(0, n, 2)
+        if a != b:
+            us.append(int(min(a, b)))
+            vs.append(int(max(a, b)))
+    ws = rng.integers(1, 20, len(us))
+    vwgt = rng.integers(1, 50, (n, 2))
+    vwgt[:, 1] = np.where(rng.random(n) < 0.5, 0, vwgt[:, 1])  # sparse 2nd constraint
+    vwgt[:, 0] = np.maximum(vwgt[:, 0], 1)
+    return CSRGraph.from_edge_list(n, np.array(us), np.array(vs), ws, vwgt)
+
+
+class TestPartitionerProperties:
+    @given(random_graph(), st.integers(2, 8), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_kway_assigns_every_vertex_in_range(self, g, k, seed):
+        part = MultilevelPartitioner(PartitionerOptions(seed=seed)).kway(g, k)
+        assert part.shape == (g.n_vertices,)
+        assert part.min() >= 0 and part.max() < k
+
+    @given(random_graph(), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_bisection_cut_never_exceeds_total_weight(self, g, seed):
+        part = MultilevelPartitioner(PartitionerOptions(seed=seed)).bisect(g, 0.5)
+        assert 0 <= csr_edge_cut(g, part) <= g.adjwgt.sum() // 2
+
+    @given(random_graph(), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_all_gains_matches_scalar_gain(self, g, seed):
+        rng = np.random.default_rng(seed)
+        part = (rng.random(g.n_vertices) < 0.5).astype(np.int8)
+        vector = all_gains(g, part)
+        for v in range(g.n_vertices):
+            assert vector[v] == move_gain(g, part, v)
+
+
+class TestCoarseningProperties:
+    @given(random_graph(), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_matching_involution(self, g, seed):
+        match = heavy_edge_matching(g, np.random.default_rng(seed))
+        for v in range(g.n_vertices):
+            assert match[match[v]] == v
+
+    @given(random_graph(), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_contraction_conserves_vertex_weight(self, g, seed):
+        match = heavy_edge_matching(g, np.random.default_rng(seed))
+        coarse, cmap = contract(g, match)
+        np.testing.assert_array_equal(coarse.total_vwgt(), g.total_vwgt())
+        assert coarse.n_vertices <= g.n_vertices
+
+    @given(random_graph(), st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_hierarchy_cut_projection_consistent(self, g, seed):
+        """A partition's cut at a coarse level equals the projected
+        partition's cut at the fine level (edges inside contracted
+        pairs are internal either way)."""
+        rng = np.random.default_rng(seed)
+        levels = coarsen_graph(g, rng, coarsen_to=max(4, g.n_vertices // 4))
+        if len(levels) < 2:
+            return
+        coarse = levels[-1].graph
+        part_c = (rng.random(coarse.n_vertices) < 0.5).astype(np.int8)
+        # Project down through the maps.
+        part_f = part_c
+        for level in reversed(levels[:-1]):
+            part_f = part_f[level.coarse_map]
+        assert csr_edge_cut(coarse, part_c) == csr_edge_cut(levels[0].graph, part_f)
+
+
+class TestSplitLocProperties:
+    @given(st.integers(0, 2**31), st.integers(2, 64))
+    @settings(max_examples=15, deadline=None)
+    def test_split_preserves_visits_and_persons(self, seed, max_partitions):
+        g = generate_population(PopulationConfig(n_persons=150), seed)
+        sr = split_heavy_locations(g, max_partitions=max_partitions)
+        sr.graph.validate()
+        assert sr.graph.n_visits == g.n_visits
+        np.testing.assert_array_equal(
+            np.bincount(sr.graph.visit_person, minlength=g.n_persons),
+            np.bincount(g.visit_person, minlength=g.n_persons),
+        )
+        # Every new location's visits came from its origin location.
+        orig_of_visit = sr.origin[sr.graph.visit_location]
+        # Visit multiset per original location is conserved.
+        np.testing.assert_array_equal(
+            np.bincount(orig_of_visit, minlength=g.n_locations),
+            np.bincount(g.visit_location, minlength=g.n_locations),
+        )
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_resplitting_with_fixed_weights_converges(self, seed):
+        """With the sublocation weights held fixed (rather than
+        re-estimated from the modified graph, which legitimately
+        churns), re-splitting at the same threshold is idempotent up to
+        rounding of uneven pieces."""
+        from repro.partition.splitloc import sublocation_type_weights
+
+        g = generate_population(PopulationConfig(n_persons=200), seed)
+        tw = sublocation_type_weights(g)
+        sr1 = split_heavy_locations(g, max_partitions=32, subloc_weights=tw)
+        sr2 = split_heavy_locations(
+            sr1.graph, threshold=sr1.threshold, subloc_weights=tw
+        )
+        assert sr2.n_split == 0
+        assert sr2.graph is sr1.graph

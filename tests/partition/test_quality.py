@@ -1,0 +1,101 @@
+"""Partition quality metrics, including the Figure-2 worked example."""
+
+import numpy as np
+import pytest
+
+from repro.partition.csr import CSRGraph
+from repro.partition.quality import (
+    BipartitePartition,
+    csr_edge_cut,
+    edge_cut,
+    imbalance,
+    partition_loads,
+    per_partition_edge_cut,
+)
+from repro.partition.roundrobin import round_robin_partition
+
+
+def figure2_graph():
+    """The 13-node example of the paper's Figure 2.
+
+    Node 1 (0-indexed: 0) has weight 8 and the most edges; nodes 7 and 9
+    (indices 6, 8) have weight 1; all others weight 2 (so that the
+    figure's loads work out: total = 8+2*10+1*2 = 30, avg over 5
+    partitions = 6).
+    """
+    edges = [
+        (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8),
+        (1, 2), (3, 4), (5, 6), (7, 8),
+        (9, 10), (11, 12), (9, 11),
+    ]
+    u = np.array([e[0] for e in edges])
+    v = np.array([e[1] for e in edges])
+    w = np.ones(len(edges), dtype=np.int64)
+    vwgt = np.full(13, 2, dtype=np.int64)
+    vwgt[0] = 8
+    vwgt[6] = 1
+    vwgt[8] = 1
+    return CSRGraph.from_edge_list(13, u, v, w, vwgt)
+
+
+class TestFigure2:
+    def test_load_optimal_partition(self):
+        """Isolating node 1 cuts all 8 of its edges but caps the maximum
+        partition load at 8 — Figure 2(a)."""
+        g = figure2_graph()
+        part = np.array([0, 1, 1, 2, 2, 3, 3, 4, 4, 1, 2, 3, 4])
+        cut = csr_edge_cut(g, part)
+        loads = np.bincount(part, weights=g.vwgt[:, 0])
+        assert cut >= 8  # all of node 1's edges are cut
+        assert loads.max() == 8
+        assert loads.max() / loads.mean() == pytest.approx(8 / 6, rel=1e-9)
+
+    def test_cut_optimal_partition_has_worse_balance(self):
+        """Keeping node 1 with two neighbours cuts fewer edges (6 < 8)
+        but loads one partition with 12 — Figure 2(b)'s trade-off.  (The
+        figure's exact topology is not recoverable from the paper text;
+        this analogue preserves its arithmetic structure.)"""
+        g = figure2_graph()
+        part = np.array([0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 4, 4])
+        cut = csr_edge_cut(g, part)
+        loads = np.bincount(part, weights=g.vwgt[:, 0])
+        assert cut == 6
+        assert loads.max() / loads.mean() > 8 / 6  # worse than the load-optimal
+
+
+class TestMetrics:
+    def test_edge_cut_zero_for_single_partition(self, tiny_graph):
+        bp = round_robin_partition(tiny_graph, 1)
+        assert edge_cut(tiny_graph, bp) == 0
+
+    def test_rr_cuts_nearly_everything(self, tiny_graph):
+        bp = round_robin_partition(tiny_graph, 16)
+        assert edge_cut(tiny_graph, bp) > 0.8 * tiny_graph.n_visits
+
+    def test_per_partition_cut_bounds_total(self, tiny_graph):
+        bp = round_robin_partition(tiny_graph, 8)
+        per = per_partition_edge_cut(tiny_graph, bp)
+        # Each crossing edge appears in exactly two partitions' tallies.
+        assert per.sum() == 2 * edge_cut(tiny_graph, bp)
+
+    def test_partition_loads_shape_and_totals(self, tiny_graph):
+        bp = round_robin_partition(tiny_graph, 8)
+        loads = partition_loads(tiny_graph, bp)
+        assert loads.shape == (8, 2)
+        assert loads[:, 0].sum() == np.maximum(tiny_graph.person_degrees, 1).sum()
+
+    def test_imbalance_perfect(self):
+        assert imbalance(np.array([[5.0], [5.0]]))[0] == 1.0
+
+    def test_imbalance_ratio(self):
+        r = imbalance(np.array([[9.0, 0.0], [3.0, 0.0]]))
+        assert r[0] == pytest.approx(1.5)
+        assert r[1] == 1.0  # vacuous constraint
+
+    def test_partition_out_of_range_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            BipartitePartition(
+                person_part=np.full(tiny_graph.n_persons, 5),
+                location_part=np.zeros(tiny_graph.n_locations, dtype=int),
+                k=4,
+            )

@@ -1,0 +1,134 @@
+"""splitLoc preprocessing: semantics preservation and load reduction."""
+
+import numpy as np
+import pytest
+
+from repro.core import Scenario, SequentialSimulator, TransmissionModel
+from repro.loadmodel.workload import WorkloadModel
+from repro.partition.splitloc import (
+    location_weights,
+    split_heavy_locations,
+    split_threshold,
+    sublocation_type_weights,
+)
+
+
+class TestThreshold:
+    def test_threshold_rule(self, small_graph):
+        t = split_threshold(small_graph, max_partitions=64)
+        w = location_weights(small_graph)
+        tw = sublocation_type_weights(small_graph)
+        assert t == pytest.approx(max(w.sum() / 64, tw.max()))
+
+    def test_threshold_floor_is_subloc_weight(self, small_graph):
+        # With absurdly many partitions the floor is the sublocation weight.
+        t = split_threshold(small_graph, max_partitions=10**9)
+        tw = sublocation_type_weights(small_graph)
+        assert t == pytest.approx(tw.max())
+
+    def test_invalid_partitions(self, small_graph):
+        with pytest.raises(ValueError):
+            split_threshold(small_graph, 0)
+
+
+class TestStructure:
+    def test_result_graph_valid(self, small_graph):
+        sr = split_heavy_locations(small_graph, max_partitions=256)
+        sr.graph.validate()
+
+    def test_visits_conserved(self, small_graph):
+        sr = split_heavy_locations(small_graph, max_partitions=256)
+        assert sr.graph.n_visits == small_graph.n_visits
+        np.testing.assert_array_equal(
+            np.sort(sr.graph.visit_person), np.sort(small_graph.visit_person)
+        )
+
+    def test_origin_mapping(self, small_graph):
+        sr = split_heavy_locations(small_graph, max_partitions=256)
+        assert sr.origin.shape[0] == sr.graph.n_locations
+        # Pieces inherit the original's type.
+        np.testing.assert_array_equal(
+            sr.graph.location_type, small_graph.location_type[sr.origin]
+        )
+
+    def test_no_split_below_threshold(self, small_graph):
+        sr = split_heavy_locations(small_graph, threshold=10**9)
+        assert sr.n_split == 0
+        assert sr.graph is small_graph
+
+    def test_divide_mode_preserves_subloc_exclusivity(self, small_graph):
+        """Each (original location, original sublocation) maps to exactly
+        one split piece — the paper's no-added-communication property."""
+        sr = split_heavy_locations(small_graph, max_partitions=256, mode="divide")
+        g2 = sr.graph
+        # Reconstruct original sublocation ids: piece offset + new subloc.
+        # Verify via visitor sets: persons sharing an original sublocation
+        # must share the new location as well.
+        orig_loc = sr.origin[g2.visit_location]
+        key_new = g2.visit_location.astype(np.int64) * 10**6 + g2.visit_subloc
+        # Group by original (we can't recover orig subloc id directly, so
+        # check the piece assignment function: same new-key => same orig loc).
+        assert np.all(orig_loc == sr.origin[g2.visit_location])
+        assert sr.coupling_pairs == 0
+
+    def test_retain_mode_reports_coupling(self, small_graph):
+        sr = split_heavy_locations(small_graph, max_partitions=256, mode="retain")
+        assert sr.coupling_pairs > 0
+        sr.graph.validate()
+
+    def test_invalid_mode(self, small_graph):
+        with pytest.raises(ValueError):
+            split_heavy_locations(small_graph, max_partitions=8, mode="shred")
+
+    def test_needs_threshold_or_partitions(self, small_graph):
+        with pytest.raises(ValueError):
+            split_heavy_locations(small_graph)
+
+
+class TestLoadReduction:
+    def test_lmax_drops(self, small_graph):
+        wl = WorkloadModel()
+        before = wl.location_weights(small_graph).max()
+        sr = split_heavy_locations(small_graph, max_partitions=1024)
+        after = wl.location_weights(sr.graph).max()
+        assert sr.n_split > 0
+        assert after < before
+
+    def test_total_load_roughly_conserved(self, small_graph):
+        # Events (2x visits) are exactly conserved; the modelled load may
+        # shift slightly because the model is nonlinear in events.
+        sr = split_heavy_locations(small_graph, max_partitions=1024)
+        assert sr.graph.location_visit_counts.sum() == small_graph.location_visit_counts.sum()
+
+    def test_size_increase_bounded(self, small_graph):
+        # Paper: D grows by at most ~5.25%; allow slack for small graphs.
+        sr = split_heavy_locations(small_graph, max_partitions=512)
+        growth = sr.graph.n_locations / small_graph.n_locations
+        assert growth < 1.6
+
+    def test_dmax_reduction(self, small_graph):
+        sr = split_heavy_locations(small_graph, max_partitions=1024)
+        assert sr.graph.location_visit_counts.max() < small_graph.location_visit_counts.max()
+
+
+class TestEpidemicEquivalence:
+    def test_split_graph_same_epidemic_statistics(self, wy_graph):
+        """Divide-mode splitting must not change epidemic dynamics in
+        expectation: sublocation co-presence is preserved exactly, so a
+        run on the split graph (same seed) differs only through RNG
+        stream relabeling (location ids change).  Attack rates must be
+        statistically indistinguishable."""
+        sr = split_heavy_locations(wy_graph, max_partitions=512)
+        assert sr.n_split > 0
+
+        def attack(graph, seed):
+            sc = Scenario(
+                graph=graph, n_days=40, seed=seed, initial_infections=8,
+                transmission=TransmissionModel(1.5e-4),
+            )
+            res = SequentialSimulator(sc).run()
+            return res.curve.attack_rate(graph.n_persons)
+
+        base = np.mean([attack(wy_graph, s) for s in range(4)])
+        split = np.mean([attack(sr.graph, s) for s in range(4)])
+        assert split == pytest.approx(base, abs=0.12)

@@ -1,0 +1,90 @@
+"""Population generator: structure, statistics, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.synthpop import PopulationConfig, generate_population
+from repro.synthpop.graph import LocationType
+from repro.util.histogram import fit_powerlaw_exponent
+
+
+@pytest.fixture(scope="module")
+def pop():
+    return generate_population(PopulationConfig(n_persons=4000), 42, name="gen-test")
+
+
+class TestStructure:
+    def test_validates(self, pop):
+        pop.validate()  # does not raise
+
+    def test_every_person_visits_home_twice(self, pop):
+        home_visits = pop.visit_location == pop.person_home[pop.visit_person]
+        per_person = np.bincount(pop.visit_person[home_visits], minlength=pop.n_persons)
+        assert np.all(per_person >= 2)
+
+    def test_home_buildings_are_home_type(self, pop):
+        homes = np.unique(pop.person_home)
+        assert np.all(pop.location_type[homes] == LocationType.HOME)
+
+    def test_visits_sorted_by_person(self, pop):
+        assert np.all(np.diff(pop.visit_person) >= 0)
+
+    def test_sublocation_bounds(self, pop):
+        assert np.all(pop.visit_subloc < pop.location_n_sublocs[pop.visit_location])
+
+
+class TestStatistics:
+    def test_person_degree_moments_match_paper(self, pop):
+        deg = pop.person_degrees
+        assert deg.mean() == pytest.approx(5.5, abs=0.25)
+        assert deg.std() == pytest.approx(2.6, abs=0.4)
+
+    def test_location_degree_mean_near_target(self, pop):
+        assert pop.n_visits / pop.n_locations == pytest.approx(21.5, rel=0.15)
+
+    def test_location_indegree_heavy_tailed(self, pop):
+        ind = pop.location_in_degrees()
+        # Heavy tail: the max location dwarfs the median.
+        assert ind.max() > 20 * np.median(ind[ind > 0])
+        beta = fit_powerlaw_exponent(ind[ind >= 5].astype(float), xmin=5.0)
+        assert 1.2 < beta < 3.5
+
+    def test_locations_per_person_ratio(self, pop):
+        # Table I: US has 0.256 locations per person.
+        assert pop.n_locations / pop.n_persons == pytest.approx(0.256, rel=0.2)
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        cfg = PopulationConfig(n_persons=500)
+        a = generate_population(cfg, 7)
+        b = generate_population(cfg, 7)
+        np.testing.assert_array_equal(a.visit_person, b.visit_person)
+        np.testing.assert_array_equal(a.visit_location, b.visit_location)
+        np.testing.assert_array_equal(a.visit_start, b.visit_start)
+
+    def test_different_seed_different_graph(self):
+        cfg = PopulationConfig(n_persons=500)
+        a = generate_population(cfg, 7)
+        b = generate_population(cfg, 8)
+        assert not np.array_equal(a.visit_location, b.visit_location)
+
+
+class TestConfigValidation:
+    def test_rejects_tiny_mean_visits(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(n_persons=10, mean_visits=2.0)
+
+    def test_rejects_zero_persons(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(n_persons=0)
+
+    def test_rejects_bad_type_fractions(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(n_persons=10, type_fractions=(0.5, 0.5, 0.5, 0.5))
+
+    def test_poisson_fallback_for_tight_dispersion(self):
+        g = generate_population(
+            PopulationConfig(n_persons=300, mean_visits=5.0, std_visits=1.0), 3
+        )
+        assert g.person_degrees.mean() == pytest.approx(5.0, abs=0.5)

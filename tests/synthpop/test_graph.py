@@ -1,0 +1,120 @@
+"""PersonLocationGraph invariants and accessors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.synthpop import PopulationConfig, generate_population
+from repro.synthpop.graph import MINUTES_PER_DAY, PersonLocationGraph
+
+
+def _manual_graph(**overrides):
+    """A hand-built 3-person, 2-location graph."""
+    base = dict(
+        name="manual",
+        n_persons=3,
+        n_locations=2,
+        visit_person=np.array([0, 0, 1, 2]),
+        visit_location=np.array([0, 1, 1, 0]),
+        visit_subloc=np.array([0, 0, 1, 0], dtype=np.int32),
+        visit_start=np.array([0, 500, 480, 60], dtype=np.int32),
+        visit_end=np.array([480, 900, 960, 1440], dtype=np.int32),
+        location_n_sublocs=np.array([1, 2], dtype=np.int32),
+        location_type=np.array([0, 2], dtype=np.int8),
+        person_age=np.array([30, 10, 44], dtype=np.int16),
+        person_home=np.array([0, 0, 0]),
+    )
+    base.update(overrides)
+    return PersonLocationGraph(**base)
+
+
+class TestValidation:
+    def test_valid_graph_passes(self):
+        _manual_graph().validate()
+
+    def test_rejects_subloc_out_of_range(self):
+        g = _manual_graph(visit_subloc=np.array([0, 2, 1, 0], dtype=np.int32))
+        with pytest.raises(ValueError, match="subloc"):
+            g.validate()
+
+    def test_rejects_zero_duration_visit(self):
+        g = _manual_graph(visit_end=np.array([0, 900, 960, 1440], dtype=np.int32))
+        with pytest.raises(ValueError, match="duration"):
+            g.validate()
+
+    def test_rejects_unsorted_visits(self):
+        g = _manual_graph(visit_person=np.array([1, 0, 0, 2]))
+        with pytest.raises(ValueError, match="sorted"):
+            g.validate()
+
+    def test_rejects_visit_past_midnight(self):
+        g = _manual_graph(visit_end=np.array([480, 900, MINUTES_PER_DAY + 1, 1440], dtype=np.int32))
+        with pytest.raises(ValueError):
+            g.validate()
+
+
+class TestAccessors:
+    def test_person_degrees(self):
+        g = _manual_graph()
+        np.testing.assert_array_equal(g.person_degrees, [2, 1, 1])
+
+    def test_location_visit_counts(self):
+        g = _manual_graph()
+        np.testing.assert_array_equal(g.location_visit_counts, [2, 2])
+
+    def test_in_degrees_count_unique_visitors(self):
+        g = _manual_graph()
+        # location 0: persons 0 and 2; location 1: persons 0 and 1.
+        np.testing.assert_array_equal(g.location_in_degrees(), [2, 2])
+
+    def test_person_visit_slices(self):
+        g = _manual_graph()
+        ptr = g.person_visit_slices()
+        np.testing.assert_array_equal(ptr, [0, 2, 3, 4])
+
+    def test_location_visit_index_groups_all_visits(self):
+        g = _manual_graph()
+        order, ptr = g.location_visit_index()
+        for loc in range(g.n_locations):
+            rows = order[ptr[loc] : ptr[loc + 1]]
+            assert np.all(g.visit_location[rows] == loc)
+        assert ptr[-1] == g.n_visits
+
+    def test_bipartite_adjacency_collapses_multiplicity(self):
+        g = _manual_graph(
+            visit_location=np.array([0, 0, 1, 0]),
+            visit_subloc=np.array([0, 0, 1, 0], dtype=np.int32),
+        )
+        p, l, w = g.bipartite_adjacency()
+        # person 0 visits location 0 twice -> one edge of weight 2.
+        edge = dict(zip(zip(p.tolist(), l.tolist()), w.tolist()))
+        assert edge[(0, 0)] == 2
+
+    def test_summary_fields(self):
+        s = _manual_graph().summary()
+        assert s["visits"] == 4
+        assert s["people"] == 3
+        assert s["locations"] == 2
+
+
+class TestWithVisits:
+    def test_resorts_and_revalidates(self):
+        g = _manual_graph()
+        # Shuffle the visit order; with_visits must restore person-sorting.
+        perm = np.array([3, 1, 0, 2])
+        g2 = g.with_visits(
+            g.visit_person[perm],
+            g.visit_location[perm],
+            g.visit_subloc[perm],
+            g.visit_start[perm],
+            g.visit_end[perm],
+        )
+        g2.validate()
+        assert np.all(np.diff(g2.visit_person) >= 0)
+        assert g2.n_visits == g.n_visits
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_generated_graphs_always_valid(self, seed):
+        g = generate_population(PopulationConfig(n_persons=120), seed)
+        g.validate()

@@ -1,0 +1,67 @@
+"""Power-law samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.synthpop.powerlaw import (
+    bounded_zipf_sample,
+    pareto_attractiveness,
+    powerlaw_normalisation,
+)
+from repro.util.histogram import fit_powerlaw_exponent
+
+
+class TestParetoAttractiveness:
+    def test_respects_bounds(self, rng):
+        x = pareto_attractiveness(rng, 10_000, beta=2.0, x_min=1.0, x_max=500.0)
+        assert x.min() >= 1.0
+        assert x.max() <= 500.0
+
+    def test_unbounded_tail_exponent(self, rng):
+        x = pareto_attractiveness(rng, 300_000, beta=2.2, x_min=1.0)
+        assert fit_powerlaw_exponent(x) == pytest.approx(2.2, rel=0.03)
+
+    def test_rejects_beta_at_most_one(self, rng):
+        with pytest.raises(ValueError):
+            pareto_attractiveness(rng, 10, beta=1.0)
+
+    def test_rejects_bad_bounds(self, rng):
+        with pytest.raises(ValueError):
+            pareto_attractiveness(rng, 10, x_min=2.0, x_max=1.0)
+
+    def test_zero_samples(self, rng):
+        assert pareto_attractiveness(rng, 0).shape == (0,)
+
+    @given(st.floats(1.3, 4.0), st.integers(1, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_always_at_least_xmin(self, beta, n):
+        rng = np.random.default_rng(0)
+        x = pareto_attractiveness(rng, n, beta=beta, x_min=3.0)
+        assert np.all(x >= 3.0)
+
+
+class TestBoundedZipf:
+    def test_support(self, rng):
+        d = bounded_zipf_sample(rng, 5000, beta=2.0, d_min=2, d_max=50)
+        assert d.min() >= 2 and d.max() <= 50
+
+    def test_heavier_tail_for_smaller_beta(self, rng):
+        light = bounded_zipf_sample(rng, 20_000, beta=3.0, d_max=1000)
+        heavy = bounded_zipf_sample(rng, 20_000, beta=1.6, d_max=1000)
+        assert heavy.mean() > light.mean()
+
+    def test_rejects_bad_range(self, rng):
+        with pytest.raises(ValueError):
+            bounded_zipf_sample(rng, 10, 2.0, d_min=5, d_max=4)
+
+
+class TestNormalisation:
+    def test_matches_zeta_for_beta2(self):
+        # c = 1/zeta(2) = 6/pi^2
+        c = powerlaw_normalisation(2.0)
+        assert c == pytest.approx(6.0 / np.pi**2, rel=1e-6)
+
+    def test_diverges_at_one(self):
+        with pytest.raises(ValueError):
+            powerlaw_normalisation(1.0)

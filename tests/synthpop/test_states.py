@@ -1,0 +1,60 @@
+"""Table-I presets and the 49-state sweep."""
+
+import pytest
+
+from repro.synthpop.states import (
+    STATE_POPULATIONS_2009,
+    STATE_PRESETS,
+    state_population,
+    synthetic_state_sweep,
+)
+
+
+class TestPresets:
+    def test_table1_rows_present(self):
+        assert set(STATE_PRESETS) == {"US", "CA", "NY", "MI", "NC", "IA", "AR", "WY"}
+
+    def test_us_ratios(self):
+        us = STATE_PRESETS["US"]
+        assert us.visits_per_person == pytest.approx(5.497, abs=0.01)
+        assert us.visits_per_location == pytest.approx(21.5, abs=0.1)
+
+    def test_sweep_covers_49_regions(self):
+        assert len(STATE_POPULATIONS_2009) == 49  # 48 contiguous + DC
+
+
+class TestStatePopulation:
+    def test_scaled_size(self):
+        g = state_population("WY", scale=1e-3, seed=0)
+        assert g.n_persons == round(STATE_PRESETS["WY"].people * 1e-3)
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(KeyError):
+            state_population("ZZ")
+
+    def test_states_differ_under_same_seed(self):
+        a = state_population("WY", scale=1e-3, seed=0)
+        b = state_population("AR", scale=0.5e-3, seed=0)
+        # Different states must not be clones (beyond size).
+        assert a.n_visits != b.n_visits
+
+    def test_ratios_preserved(self):
+        g = state_population("IA", scale=2e-3, seed=1)
+        preset = STATE_PRESETS["IA"]
+        assert g.n_visits / g.n_persons == pytest.approx(preset.visits_per_person, rel=0.05)
+        assert g.n_visits / g.n_locations == pytest.approx(
+            preset.visits_per_location, rel=0.15
+        )
+
+
+class TestSweep:
+    def test_sweep_generates_all(self):
+        graphs = synthetic_state_sweep(scale=2e-5, seed=0)
+        assert len(graphs) == 49
+        for name, g in graphs.items():
+            assert g.n_persons >= 50
+            g.validate()
+
+    def test_sweep_sizes_ordered_by_population(self):
+        graphs = synthetic_state_sweep(scale=5e-5, seed=0)
+        assert graphs["CA"].n_persons > graphs["WY"].n_persons

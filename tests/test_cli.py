@@ -1,0 +1,79 @@
+"""CLI commands end-to-end (in-process)."""
+
+import pytest
+
+from repro.cli import main
+from repro.synthpop import save_population
+
+
+@pytest.fixture()
+def pop_file(tmp_path, tiny_graph):
+    path = tmp_path / "pop.npz"
+    save_population(tiny_graph, path)
+    return str(path)
+
+
+class TestGenerate:
+    def test_generate_state(self, tmp_path, capsys):
+        out = str(tmp_path / "wy.npz")
+        assert main(["generate", out, "--state", "WY", "--scale", "2e-4", "--seed", "3"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert (tmp_path / "wy.npz").exists()
+
+    def test_generate_explicit_persons(self, tmp_path, capsys):
+        out = str(tmp_path / "c.npz")
+        assert main(["generate", out, "--persons", "150"]) == 0
+        assert "150 people" in capsys.readouterr().out
+
+
+class TestInfo:
+    def test_info_fields(self, pop_file, capsys):
+        assert main(["info", pop_file]) == 0
+        out = capsys.readouterr().out
+        assert "people" in out and "max location in-degree" in out
+
+
+class TestSimulate:
+    def test_simulate_prints_curve(self, pop_file, capsys):
+        assert main(["simulate", pop_file, "--days", "5", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "attack rate" in out
+        assert out.count("\n") > 6  # csv rows
+
+    def test_simulate_with_scripts(self, pop_file, tmp_path, capsys):
+        iv = tmp_path / "iv.txt"
+        iv.write_text("vaccinate coverage=0.5 day=0\nstay_home compliance=0.5\n")
+        dm = tmp_path / "m.ptts"
+        dm.write_text(
+            "susceptible S\nstate S susceptibility=1.0\nstate E dwell=fixed(1)\n"
+            "state I infectivity=1.0 dwell=fixed(2)\nstate R\n"
+            "transition E -> I:1.0\ntransition I -> R:1.0\nentry -> E\n"
+        )
+        assert main([
+            "simulate", pop_file, "--days", "4",
+            "--interventions", str(iv), "--disease", str(dm),
+        ]) == 0
+        assert "attack rate" in capsys.readouterr().out
+
+
+class TestPartition:
+    def test_partition_gp(self, pop_file, capsys):
+        assert main(["partition", pop_file, "-k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "S_ub" in out and "edge cut" in out
+
+    def test_partition_rr_with_split(self, pop_file, capsys):
+        assert main(["partition", pop_file, "-k", "4", "--method", "rr", "--split"]) == 0
+        out = capsys.readouterr().out
+        assert "splitLoc" in out
+
+
+class TestScale:
+    def test_scale_sweep(self, pop_file, capsys):
+        assert main(["scale", pop_file, "--cores", "1", "16", "--split"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_scale_rr(self, pop_file, capsys):
+        assert main(["scale", pop_file, "--cores", "1", "16", "--strategy", "rr"]) == 0
+        assert "speedup" in capsys.readouterr().out

@@ -1,0 +1,51 @@
+"""Example scripts stay importable and their fast paths run.
+
+Full example runs take minutes (they are demos, not tests); here we
+compile every script (catches syntax/import rot) and exercise the two
+cheapest end-to-end.
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+class TestExamplesCompile:
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    def test_expected_examples_present(self):
+        names = {p.name for p in EXAMPLES}
+        assert {
+            "quickstart.py",
+            "course_of_action.py",
+            "partitioning_study.py",
+            "parallel_runtime_demo.py",
+            "scaling_projection.py",
+            "contact_network_analysis.py",
+            "replicated_policy_study.py",
+        } <= names
+
+
+class TestExamplesRun:
+    @pytest.mark.parametrize(
+        "script, needle",
+        [
+            ("contact_network_analysis.py", "giant component"),
+            ("parallel_runtime_demo.py", "identical to sequential reference: True"),
+        ],
+    )
+    def test_runs_and_prints(self, script, needle):
+        path = Path(__file__).parent.parent / "examples" / script
+        proc = subprocess.run(
+            [sys.executable, str(path)],
+            capture_output=True, text=True, timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert needle in proc.stdout

@@ -1,0 +1,64 @@
+"""Log-binned histogram and power-law exponent estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.histogram import fit_powerlaw_exponent, log_binned_histogram
+
+
+class TestLogBinnedHistogram:
+    def test_counts_conserved(self):
+        v = np.array([1.0, 2.0, 3.0, 10.0, 100.0, 1000.0])
+        h = log_binned_histogram(v)
+        assert h.counts.sum() == v.size
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            log_binned_histogram([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log_binned_histogram([1.0, 0.0])
+
+    def test_single_value(self):
+        h = log_binned_histogram([5.0, 5.0, 5.0])
+        assert h.counts.sum() == 3
+
+    def test_density_integrates_to_one(self):
+        rng = np.random.default_rng(0)
+        v = rng.pareto(1.5, size=20_000) + 1.0
+        h = log_binned_histogram(v)
+        mass = float((h.density * np.diff(h.edges)).sum())
+        assert mass == pytest.approx(1.0, abs=1e-6)
+
+    def test_centers_are_geometric_means(self):
+        h = log_binned_histogram([1.0, 10.0, 100.0])
+        np.testing.assert_allclose(h.centers, np.sqrt(h.edges[:-1] * h.edges[1:]))
+
+    @given(st.integers(2, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_bins_per_decade_controls_resolution(self, bpd):
+        v = np.geomspace(1, 1000, 50)
+        h = log_binned_histogram(v, bins_per_decade=bpd)
+        assert len(h.counts) == len(h.edges) - 1
+        assert h.counts.sum() == 50
+
+
+class TestPowerlawFit:
+    def test_recovers_known_exponent(self):
+        rng = np.random.default_rng(3)
+        beta = 2.5
+        # Inverse-CDF sampling of a pure power law with density exponent beta.
+        u = rng.random(200_000)
+        x = (1.0 - u) ** (-1.0 / (beta - 1.0))
+        est = fit_powerlaw_exponent(x, xmin=1.0)
+        assert est == pytest.approx(beta, rel=0.02)
+
+    def test_requires_samples_above_xmin(self):
+        with pytest.raises(ValueError):
+            fit_powerlaw_exponent([0.5, 0.7], xmin=1.0)
+
+    def test_degenerate_sample_rejected(self):
+        with pytest.raises(ValueError):
+            fit_powerlaw_exponent([1.0, 1.0, 1.0], xmin=1.0)

@@ -1,0 +1,55 @@
+"""Timer and CostAccumulator behaviour."""
+
+import pytest
+
+from repro.util.timing import CostAccumulator, Timer
+
+
+class TestTimer:
+    def test_measures_nonnegative(self):
+        with Timer() as t:
+            sum(range(100))
+        assert t.elapsed >= 0.0
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            sum(range(10000))
+        assert t.elapsed >= 0.0
+        assert first >= 0.0
+
+
+class TestCostAccumulator:
+    def test_accumulates_by_category(self):
+        c = CostAccumulator()
+        c.add("compute", 1.0)
+        c.add("compute", 2.0)
+        c.add("comm", 0.5)
+        assert c.get("compute") == 3.0
+        assert c.get("comm") == 0.5
+        assert c.total == 3.5
+
+    def test_unknown_category_is_zero(self):
+        assert CostAccumulator().get("nope") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CostAccumulator().add("compute", -1.0)
+
+    def test_merge(self):
+        a, b = CostAccumulator(), CostAccumulator()
+        a.add("compute", 1.0)
+        b.add("compute", 2.0)
+        b.add("idle", 4.0)
+        a.merge(b)
+        assert a.get("compute") == 3.0
+        assert a.get("idle") == 4.0
+
+    def test_reset(self):
+        c = CostAccumulator()
+        c.add("x", 1.0)
+        c.reset()
+        assert c.total == 0.0
