@@ -124,6 +124,13 @@ class SyncProtocol:
         triggers the first detection wave."""
         pe = self.runtime._exec_pe
         self.done_flag[pe] += 1
+        if self.runtime.validate and int(self.done_flag.sum()) > self.n_producers:
+            from repro.validate.invariants import InvariantViolation
+
+            raise InvariantViolation(
+                f"detector {self.name!r}: {int(self.done_flag.sum())} producer_done "
+                f"announcements but only {self.n_producers} producers registered"
+            )
         if int(self.done_flag.sum()) == self.n_producers:
             # Kick the host: a real message to PE 0 starts the waves.
             _current_chare_send(self.runtime, self._host_array, "start")
@@ -138,6 +145,19 @@ class SyncProtocol:
 
     def _wave_result(self, host: _DetectorHost, totals: tuple) -> None:
         produced, consumed, done = totals
+        # CD counts produced-at-send / consumed-at-receive within one
+        # module, so consumed can never exceed produced once producers are
+        # done; a higher count means corrupted counters.  (QD wave totals
+        # fold in other modules' in-flight counters non-atomically, where
+        # a transient excess is legitimate — that is why QD needs two
+        # clean waves — so the check is scoped to CD.)
+        if self.runtime.validate and self.required_clean_waves == 1 and consumed > produced:
+            from repro.validate.invariants import InvariantViolation
+
+            raise InvariantViolation(
+                f"detector {self.name!r}: {consumed} messages consumed but only "
+                f"{produced} produced — a phantom consumption corrupted the counters"
+            )
         clean = done >= self.n_producers and produced == consumed
         if clean and (self.required_clean_waves == 1 or totals == self._last_totals):
             self._clean_streak += 1

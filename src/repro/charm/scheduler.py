@@ -125,9 +125,13 @@ class RuntimeSimulator:
         self,
         machine: MachineConfig | Machine,
         network: NetworkModel | None = None,
+        validate: bool = False,
     ):
         self.machine = machine if isinstance(machine, Machine) else Machine(machine)
         self.network = network or NetworkModel()
+        #: enable runtime-level invariant checks (drained aggregation
+        #: buffers at exit, sane detector counters — see repro.validate)
+        self.validate = validate
         n = self.machine.n_pes
         self.tree = ReductionTree(n)
         self.current_time = 0.0
@@ -496,7 +500,25 @@ class RuntimeSimulator:
                     f"runtime exceeded {max_events} events — likely a protocol livelock"
                 )
         self.current_time = float(self.pe_clock.max()) if self.pe_clock.size else 0.0
+        if self.validate:
+            self._check_drained()
         return self.current_time
+
+    def _check_drained(self) -> None:
+        """At quiescence no aggregation channel may still buffer records —
+        a non-empty buffer after the heap drains is a lost message."""
+        from repro.validate.invariants import InvariantViolation
+
+        for name, agg in self.aggregators.items():
+            pending = (
+                agg.pending_pes() if isinstance(agg, TramChannel) else agg.pending_sources()
+            )
+            if pending:
+                raise InvariantViolation(
+                    f"aggregation channel {name!r} still buffers records on "
+                    f"PEs {sorted(pending)} after the event heap drained — "
+                    f"these messages were lost"
+                )
 
     # ------------------------------------------------------------------
     def ensure_pe_agents(self) -> None:

@@ -7,6 +7,7 @@ Commands
 ``simulate``   run the sequential simulator, print the epidemic curve
 ``partition``  partition a population and report quality metrics
 ``scale``      analytic strong-scaling sweep (Figure-13 style)
+``validate``   differential sequential↔parallel oracle + golden traces
 
 Every command is a thin shell over the library API so scripted studies
 can start from the shell and graduate to Python.
@@ -64,6 +65,21 @@ def build_parser() -> argparse.ArgumentParser:
                    default=[1, 16, 64, 256, 1024, 4096])
     c.add_argument("--strategy", choices=["rr", "gp-lpt"], default="gp-lpt")
     c.add_argument("--split", action="store_true")
+
+    v = sub.add_parser(
+        "validate",
+        help="run the differential oracle matrix (and optionally golden traces)",
+    )
+    v.add_argument("--quick", action="store_true",
+                   help="shorter run: 4 days instead of --days")
+    v.add_argument("--persons", type=int, default=2000,
+                   help="synthetic population size for the matrix")
+    v.add_argument("--days", type=int, default=8)
+    v.add_argument("--seed", type=int, default=0)
+    v.add_argument("--golden", action="store_true",
+                   help="also replay the recorded golden traces")
+    v.add_argument("--refresh-golden", action="store_true",
+                   help="re-record the golden traces instead of running the matrix")
     return p
 
 
@@ -205,12 +221,49 @@ def _cmd_scale(args) -> int:
     return 0
 
 
+def _cmd_validate(args) -> int:
+    from repro.synthpop import PopulationConfig, generate_population
+    from repro.validate.golden import GOLDEN_CASES, refresh_all, verify
+    from repro.validate.oracle import run_matrix
+
+    if args.refresh_golden:
+        for path in refresh_all():
+            print(f"recorded {path}")
+        return 0
+
+    graph = generate_population(
+        PopulationConfig(n_persons=args.persons), args.seed,
+        name=f"validate-{args.persons}",
+    )
+    report = run_matrix(
+        graph,
+        n_days=4 if args.quick else args.days,
+        seed=args.seed,
+        progress=lambda line: print("  " + line),
+    )
+    print(report.format())
+    ok = report.all_equal
+
+    if args.golden:
+        for case in GOLDEN_CASES:
+            diffs = verify(case)
+            if diffs:
+                ok = False
+                print(f"golden {case.name}: {len(diffs)} difference(s)")
+                for d in diffs[:5]:
+                    print(f"  {d}")
+            else:
+                print(f"golden {case.name}: trace holds")
+    return 0 if ok else 1
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
     "simulate": _cmd_simulate,
     "partition": _cmd_partition,
     "scale": _cmd_scale,
+    "validate": _cmd_validate,
 }
 
 

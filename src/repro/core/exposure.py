@@ -10,6 +10,7 @@ the parallel execution reproduce the sequential one exactly.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -37,16 +38,14 @@ class LocationPhaseResult:
 
     infections: list[InfectionEvent] = field(default_factory=list)
     #: per-location event counts (2 × processed visits), keyed by location id
-    events: dict[int, int] = field(default_factory=dict)
+    events: Counter = field(default_factory=Counter)
     #: per-location S×I interaction counts
-    interactions: dict[int, int] = field(default_factory=dict)
+    interactions: Counter = field(default_factory=Counter)
 
     def merge(self, other: "LocationPhaseResult") -> None:
         self.infections.extend(other.infections)
-        for k, v in other.events.items():
-            self.events[k] = self.events.get(k, 0) + v
-        for k, v in other.interactions.items():
-            self.interactions[k] = self.interactions.get(k, 0) + v
+        self.events.update(other.events)
+        self.interactions.update(other.interactions)
 
 
 def compute_infections(
@@ -97,7 +96,7 @@ def compute_infections(
 
     if collect_stats:
         locs, counts = np.unique(vl, return_counts=True)
-        result.events = {int(l): int(2 * c) for l, c in zip(locs, counts)}
+        result.events.update({int(l): int(2 * c) for l, c in zip(locs, counts)})
 
     # Only locations with at least one infectious *and* one susceptible
     # visit can transmit; restrict the expensive pass to those.
@@ -125,7 +124,7 @@ def compute_infections(
         if s_idx.size == 0:
             continue
         if collect_stats:
-            result.interactions[loc] = result.interactions.get(loc, 0) + int(s_idx.size)
+            result.interactions[loc] += int(s_idx.size)
         g_s = group[s_idx]
         g_i = group[i_idx]
         hazards = transmission.hazard(

@@ -177,6 +177,8 @@ class _PersonManager(Chare):
         keep = sim.scenario.interventions.visit_mask(sim.day_ctx, self.rows)
         rows = self.rows[keep]
         self.charge(cost.visit_compute_cost * rows.size)
+        if sim.checker is not None:
+            sim.checker.record_visits_sent(rows)
         lm_of = sim.distribution.location_chare
         dests = lm_of[sim.graph.visit_location[rows]]
         det = sim.visit_detector
@@ -190,6 +192,8 @@ class _PersonManager(Chare):
     def recv_infect(self, payload) -> None:
         person, _minute = payload
         self.sim.infect_detector.consume()
+        if self.sim.checker is not None:
+            self.sim.checker.record_infect_received(person)
         self.pending_infections.append(person)
 
     def apply_phase(self, day: int) -> None:
@@ -213,6 +217,8 @@ class _LocationManager(Chare):
 
     def recv_visits(self, row: int) -> None:
         self.sim.visit_detector.consume()
+        if self.sim.checker is not None:
+            self.sim.checker.record_visit_received(row, self.index)
         self.buffered_rows.append(row)
 
     def location_phase(self, day: int) -> None:
@@ -223,6 +229,8 @@ class _LocationManager(Chare):
             rows, sim.graph, sim.health_state, sim.scenario.disease,
             sim.scenario.transmission, day, sim.rng_factory, collect_stats=True,
         )
+        if sim.checker is not None:
+            sim.checker.record_infections(day, phase.infections)
         # Feed the predictive load balancer's application-specific view.
         for loc, inter in phase.interactions.items():
             sim.last_interactions[loc] = inter
@@ -266,10 +274,15 @@ class _Driver(Chare):
 
     def visits_done(self, _payload=None) -> None:
         self._t_visits = self.now()
-        self.runtime.broadcast(self.sim.name("lm"), "location_phase", self.sim.day)
+        sim = self.sim
+        if sim.checker is not None:
+            sim.checker.close_visit_phase(sim.runtime.aggregators[sim.name("visits")])
+        self.runtime.broadcast(sim.name("lm"), "location_phase", sim.day)
 
     def infects_done(self, _payload=None) -> None:
         self._t_locations = self.now()
+        if self.sim.checker is not None:
+            self.sim.checker.close_infect_phase()
         self.runtime.broadcast(self.sim.name("pm"), "apply_phase", self.sim.day)
 
     def on_day_stats(self, new_infections: int) -> None:
@@ -315,6 +328,20 @@ class ParallelEpiSimdemics:
         ``"qd"`` (quiescence detection, the baseline).
     aggregation_bytes:
         Visit-channel buffer size; 0 disables aggregation.
+    delivery:
+        Visit-channel transport: ``"aggregated"`` (per-destination
+        buffers, the paper's §IV-C optimisation), ``"direct"`` (every
+        visit pays its own envelope — the no-opt baseline, equivalent
+        to ``aggregation_bytes=0``) or ``"tram"`` (mesh-routed
+        TRAM-style aggregation, footnote 1).  A delivery mode is a
+        performance choice only — the epidemic is identical under all
+        three (asserted by :mod:`repro.validate`).
+    validate:
+        Attach an :class:`~repro.validate.invariants.InvariantChecker`
+        and enable the runtime's own invariant checks: exactly-once
+        visit delivery, detector-closure soundness, unique transmission
+        RNG keys, legal PTTS steps, partition/infection conservation.
+        Costs one extra bookkeeping pass per message; off by default.
     lb_period:
         Rebalance LocationManagers every N days (None = off).  Needs
         over-decomposition (more LM chares than PEs) to have any moves
@@ -345,14 +372,18 @@ class ParallelEpiSimdemics:
         costs: ComputeCostModel | None = None,
         sync: str = "cd",
         aggregation_bytes: int = 64 * 1024,
+        delivery: str = "aggregated",
         lb_period: int | None = None,
         lb_strategy: str = "greedy",
         migration_model: MigrationCostModel | None = None,
         runtime: RuntimeSimulator | None = None,
         namespace: str = "",
+        validate: bool = False,
     ):
         if sync not in ("cd", "qd"):
             raise ValueError("sync must be 'cd' or 'qd'")
+        if delivery not in ("aggregated", "direct", "tram"):
+            raise ValueError("delivery must be 'aggregated', 'direct' or 'tram'")
         if lb_strategy not in ("greedy", "refine", "predictive"):
             raise ValueError("lb_strategy must be greedy, refine or predictive")
         if lb_period is not None and lb_period < 1:
@@ -363,8 +394,20 @@ class ParallelEpiSimdemics:
         self.costs = costs or ComputeCostModel()
         self.rng_factory = scenario.rng_factory
         self.namespace = namespace
-        self.runtime = runtime if runtime is not None else RuntimeSimulator(machine, network)
+        self.runtime = (
+            runtime
+            if runtime is not None
+            else RuntimeSimulator(machine, network, validate=validate)
+        )
         self.runtime.ensure_pe_agents()
+        if validate:
+            from repro.validate.invariants import InvariantChecker
+
+            self.checker: InvariantChecker | None = InvariantChecker(
+                scenario.graph, scenario.disease, distribution
+            )
+        else:
+            self.checker = None
 
         d = scenario.disease
         g = self.graph
@@ -399,9 +442,16 @@ class ParallelEpiSimdemics:
             for persons in pm_persons
         ]
         lm_locations = [np.flatnonzero(dist.location_chare == c) for c in range(dist.n_lm)]
+        if self.checker is not None:
+            self.checker.check_partition(pm_persons, pm_rows, lm_locations)
 
         rt = self.runtime
-        rt.create_channel(self.name("visits"), aggregation_bytes)
+        if delivery == "tram":
+            rt.create_tram_channel(self.name("visits"), aggregation_bytes)
+        else:
+            rt.create_channel(
+                self.name("visits"), 0 if delivery == "direct" else aggregation_bytes
+            )
         rt.create_array(
             self.name("pm"),
             lambda i: _PersonManager(self, pm_persons[i], pm_rows[i]),
@@ -455,6 +505,8 @@ class ParallelEpiSimdemics:
             rng_factory=self.rng_factory,
         )
         sc.interventions.update_treatments(self.day_ctx)
+        if self.checker is not None:
+            self.checker.begin_day(day, self.health_state)
 
     def _prevalence(self) -> float:
         d = self.scenario.disease
@@ -515,6 +567,8 @@ class ParallelEpiSimdemics:
         total_new = new_infections + (self._seeded_count if self.day == 0 else 0)
         prev = self._prevalence()
         self.curve.record_day(total_new, prev)
+        if self.checker is not None:
+            self.checker.end_day(self.day, self.health_state, self.ever_infected, self.curve)
         self.day_results.append(
             DayResult(
                 day=self.day,

@@ -21,6 +21,7 @@ us run steps 1/3/5 as whole-population vectorised passes.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -53,8 +54,8 @@ class SimulationResult:
     final_histogram: dict[str, int]
     days: list[DayResult] = field(default_factory=list)
     #: summed per-location DES statistics (when stats collection is on)
-    location_events: dict[int, int] = field(default_factory=dict)
-    location_interactions: dict[int, int] = field(default_factory=dict)
+    location_events: Counter = field(default_factory=Counter)
+    location_interactions: Counter = field(default_factory=Counter)
 
     @property
     def total_infections(self) -> int:
@@ -184,11 +185,7 @@ class SequentialSimulator:
             result.days.append(day_result)
             curve.record_day(day_result.new_infections, day_result.prevalence)
             if self.collect_location_stats:
-                for k, v in phase.events.items():
-                    result.location_events[k] = result.location_events.get(k, 0) + v
-                for k, v in phase.interactions.items():
-                    result.location_interactions[k] = (
-                        result.location_interactions.get(k, 0) + v
-                    )
+                result.location_events.update(phase.events)
+                result.location_interactions.update(phase.interactions)
         result.final_histogram = state_histogram(self.health_state, self.scenario.disease)
         return result

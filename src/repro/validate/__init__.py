@@ -1,0 +1,43 @@
+"""Differential-correctness tooling for the sequential↔parallel guarantee.
+
+The reproduction's load-bearing claim — keyed RNG makes the
+chare-parallel runtime bit-identical to the sequential reference under
+any data distribution, detector or delivery mode — is machine-checked
+here:
+
+* :mod:`repro.validate.strategies` — hypothesis strategies generating
+  small-but-adversarial populations and scenarios, shared by all test
+  tiers;
+* :mod:`repro.validate.oracle` — the differential oracle running one
+  scenario through both execution modes across the
+  {RR, GP, GP-splitLoc} × {cd, qd} × {direct, aggregated, tram} matrix
+  and diffing epi-curves, infection events and final state;
+* :mod:`repro.validate.invariants` — online invariant checks threaded
+  through the parallel runtime (``validate=True``);
+* :mod:`repro.validate.golden` — golden-trace capture/replay pinning
+  epi-curves and virtual-time phase profiles of reference scenarios.
+
+``python -m repro validate`` drives the oracle from the shell;
+``python -m repro validate --refresh-golden`` re-records the traces.
+
+Submodules import lazily so that enabling runtime checks (which only
+needs :mod:`invariants`) never drags in hypothesis or the oracle's
+partitioning stack.
+"""
+
+from repro.validate.invariants import InvariantChecker, InvariantViolation
+
+__all__ = [
+    "InvariantChecker",
+    "InvariantViolation",
+    "run_matrix",
+    "OracleReport",
+]
+
+
+def __getattr__(name):
+    if name in ("run_matrix", "OracleReport", "Divergence", "CellResult"):
+        from repro.validate import oracle
+
+        return getattr(oracle, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,276 @@
+"""Runtime invariant checks for the parallel execution.
+
+The sequential↔parallel equivalence guarantee rests on a handful of
+structural invariants that every data distribution, detector and
+delivery mode must preserve.  :class:`InvariantChecker` turns them into
+online assertions threaded through :class:`~repro.core.parallel.
+ParallelEpiSimdemics` (enable with ``validate=True``):
+
+* **partition conservation** — every person/visit row is owned by
+  exactly one PersonManager and every location by exactly one
+  LocationManager;
+* **exactly-once visit delivery** — the multiset of visit rows the PMs
+  push into the aggregation channel equals the multiset the LMs take
+  out, and each row arrives at the LM that owns its location;
+* **detector-closure soundness** — no visit (infect) message is
+  delivered after the visit (infect) phase's detector declared
+  completion;
+* **unique RNG keys** — no two infection events of one day share a
+  ``(day, location, person)`` transmission key (a duplicate means two
+  LMs computed the same draw — the classic split-brain bug);
+* **legal PTTS steps** — between day boundaries every person moves at
+  most one hop along the disease model's transition graph (dwell
+  expiry or infection entry), never teleporting or resurrecting;
+* **infection conservation** — the epi-curve's cumulative count equals
+  the number of ever-infected persons.
+
+A failed check raises :class:`InvariantViolation` immediately with the
+offending day/location/person; passed checks are counted in
+``checks_passed`` so tests can assert coverage.  The checker also logs
+every infection event per day, which is what the differential oracle
+(:mod:`repro.validate.oracle`) diffs against the sequential reference.
+
+:class:`~repro.charm.scheduler.RuntimeSimulator` accepts its own
+``validate=`` flag for the runtime-level invariants (drained
+aggregation buffers at exit, sane detector counters) — see
+``RuntimeSimulator.run`` and :mod:`repro.charm.completion`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+__all__ = ["InvariantViolation", "InvariantChecker"]
+
+
+class InvariantViolation(AssertionError):
+    """A runtime invariant of the parallel execution was broken."""
+
+
+class InvariantChecker:
+    """Online invariant checks for one :class:`ParallelEpiSimdemics` run.
+
+    Parameters
+    ----------
+    graph:
+        The scenario's :class:`~repro.synthpop.graph.PersonLocationGraph`.
+    disease:
+        The scenario's compiled PTTS model.
+    distribution:
+        The object→chare :class:`~repro.core.parallel.Distribution`.
+    """
+
+    def __init__(self, graph, disease, distribution):
+        self.graph = graph
+        self.disease = disease
+        self.distribution = distribution
+        self.checks_passed = 0
+        #: per-day infection events (the oracle's parallel-side record)
+        self.infection_log: dict[int, list] = {}
+        self._day = -1
+        self._state0: np.ndarray | None = None
+        self._visit_phase_open = False
+        self._infect_phase_open = False
+        self._visits_sent: Counter = Counter()
+        self._visits_recv: Counter = Counter()
+        self._infects_sent = 0
+        self._infects_recv = 0
+        self._rng_keys_used: set[tuple[int, int, int]] = set()
+        self._allowed = self._allowed_transitions(disease)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _allowed_transitions(disease) -> np.ndarray:
+        """Boolean matrix: ``allowed[s0, s1]`` iff a person may move from
+        state ``s0`` to ``s1`` within one simulated day."""
+        n = disease.n_states
+        allowed = np.eye(n, dtype=bool)
+        for i, s in enumerate(disease.states):
+            for transitions in s.transitions.values():
+                for tr in transitions:
+                    allowed[i, disease.index[tr.target]] = True
+        # Infection: susceptible -> every treatment's entry state.
+        for t in disease.treatments:
+            allowed[disease.susceptible_index, disease.entry_state(t)] = True
+        return allowed
+
+    def _fail(self, message: str) -> None:
+        raise InvariantViolation(message)
+
+    def _ok(self) -> None:
+        self.checks_passed += 1
+
+    # ------------------------------------------------------------------
+    # structural checks (run once, at simulation construction)
+    # ------------------------------------------------------------------
+    def check_partition(self, pm_persons, pm_rows, lm_locations) -> None:
+        """Persons, visit rows and locations each partition exactly."""
+        g = self.graph
+        owners = np.zeros(g.n_persons, dtype=np.int64)
+        for persons in pm_persons:
+            owners[persons] += 1
+        if not np.all(owners == 1):
+            p = int(np.flatnonzero(owners != 1)[0])
+            self._fail(
+                f"person conservation broken: person {p} is owned by "
+                f"{int(owners[p])} PersonManagers (expected exactly 1)"
+            )
+        self._ok()
+        row_owners = np.zeros(g.n_visits, dtype=np.int64)
+        for rows in pm_rows:
+            row_owners[rows] += 1
+        if not np.all(row_owners == 1):
+            r = int(np.flatnonzero(row_owners != 1)[0])
+            self._fail(
+                f"visit-row conservation broken: row {r} is owned by "
+                f"{int(row_owners[r])} PersonManagers (expected exactly 1)"
+            )
+        self._ok()
+        loc_owners = np.zeros(g.n_locations, dtype=np.int64)
+        for locs in lm_locations:
+            loc_owners[locs] += 1
+        if not np.all(loc_owners == 1):
+            loc = int(np.flatnonzero(loc_owners != 1)[0])
+            self._fail(
+                f"location conservation broken: location {loc} is owned by "
+                f"{int(loc_owners[loc])} LocationManagers (expected exactly 1)"
+            )
+        self._ok()
+
+    # ------------------------------------------------------------------
+    # day lifecycle
+    # ------------------------------------------------------------------
+    def begin_day(self, day: int, health_state: np.ndarray) -> None:
+        """Snapshot start-of-day state (call after seeding, before phases)."""
+        self._day = day
+        self._state0 = health_state.copy()
+        self._visit_phase_open = True
+        self._infect_phase_open = True
+        self._visits_sent.clear()
+        self._visits_recv.clear()
+        self._infects_sent = 0
+        self._infects_recv = 0
+        self.infection_log[day] = []
+
+    # -- visit phase -----------------------------------------------------
+    def record_visits_sent(self, rows: np.ndarray) -> None:
+        self._visits_sent.update(int(r) for r in np.asarray(rows).ravel())
+
+    def record_visit_received(self, row: int, lm_index: int) -> None:
+        if not self._visit_phase_open:
+            self._fail(
+                f"detector-closure soundness broken: visit row {row} was "
+                f"delivered after the day-{self._day} visit phase closed"
+            )
+        owner = int(self.distribution.location_chare[self.graph.visit_location[row]])
+        if owner != lm_index:
+            self._fail(
+                f"misrouted visit: row {row} (location "
+                f"{int(self.graph.visit_location[row])}) arrived at LM {lm_index} "
+                f"but LM {owner} owns that location"
+            )
+        self._visits_recv[int(row)] += 1
+
+    def close_visit_phase(self, channel=None) -> None:
+        """The visit detector completed: delivery must be exactly-once."""
+        self._visit_phase_open = False
+        if self._visits_sent != self._visits_recv:
+            lost = self._visits_sent - self._visits_recv
+            extra = self._visits_recv - self._visits_sent
+            if lost:
+                row, n = next(iter(sorted(lost.items())))
+                self._fail(
+                    f"visit delivery broken on day {self._day}: row {row} was "
+                    f"sent but {n} cop{'y' if n == 1 else 'ies'} never arrived"
+                )
+            row, n = next(iter(sorted(extra.items())))
+            self._fail(
+                f"visit delivery broken on day {self._day}: row {row} was "
+                f"delivered {n} more time(s) than it was sent"
+            )
+        self._ok()
+        if channel is not None and self._channel_pending(channel):
+            self._fail(
+                f"aggregation channel {channel.name!r} still buffers records "
+                f"after the day-{self._day} visit phase closed"
+            )
+        self._ok()
+
+    @staticmethod
+    def _channel_pending(channel) -> bool:
+        pending = getattr(channel, "pending_sources", None) or getattr(
+            channel, "pending_pes", None
+        )
+        return bool(pending())
+
+    # -- location / infect phase ----------------------------------------
+    def record_infections(self, day: int, events) -> None:
+        """Log a LocationManager's infect messages; keys must be unique."""
+        for ev in events:
+            key = (day, ev.location, ev.person)
+            if key in self._rng_keys_used:
+                self._fail(
+                    f"duplicate transmission RNG key {key}: two infection "
+                    f"events share (day={day}, location={ev.location}, "
+                    f"person={ev.person}) — the same keyed draw was taken twice"
+                )
+            self._rng_keys_used.add(key)
+            self._infects_sent += 1
+        self._ok()
+        self.infection_log.setdefault(day, []).extend(events)
+
+    def record_infect_received(self, person: int) -> None:
+        if not self._infect_phase_open:
+            self._fail(
+                f"detector-closure soundness broken: an infect message for "
+                f"person {person} arrived after the day-{self._day} infect "
+                f"phase closed"
+            )
+        self._infects_recv += 1
+
+    def close_infect_phase(self) -> None:
+        self._infect_phase_open = False
+        if self._infects_sent != self._infects_recv:
+            self._fail(
+                f"infect delivery broken on day {self._day}: "
+                f"{self._infects_sent} infect messages sent, "
+                f"{self._infects_recv} received"
+            )
+        self._ok()
+
+    # -- day end ----------------------------------------------------------
+    def end_day(
+        self,
+        day: int,
+        health_state: np.ndarray,
+        ever_infected: np.ndarray,
+        curve,
+    ) -> None:
+        """Check PTTS legality and infection conservation at the day boundary."""
+        if self._visit_phase_open or self._infect_phase_open:
+            self._fail(
+                f"day {day} ended with an open "
+                f"{'visit' if self._visit_phase_open else 'infect'} phase"
+            )
+        self._ok()
+        legal = self._allowed[self._state0, health_state]
+        if not np.all(legal):
+            p = int(np.flatnonzero(~legal)[0])
+            s0 = self.disease.states[int(self._state0[p])].name
+            s1 = self.disease.states[int(health_state[p])].name
+            self._fail(
+                f"illegal PTTS step on day {day}: person {p} moved "
+                f"{s0!r} -> {s1!r}, which is not one dwell transition or an "
+                f"infection entry"
+            )
+        self._ok()
+        cum = curve.cumulative_infections[-1] if curve.cumulative_infections else 0
+        if cum != int(ever_infected.sum()):
+            self._fail(
+                f"infection conservation broken on day {day}: the epi-curve "
+                f"counts {cum} cumulative infections but {int(ever_infected.sum())} "
+                f"persons were ever infected"
+            )
+        self._ok()

@@ -1,0 +1,367 @@
+"""The differential oracle: sequential reference vs parallel runtime.
+
+One scenario is run through the sequential simulator and through the
+chare-parallel runtime across the full configuration matrix
+
+    {RR, GP, GP-splitLoc} × {completion, quiescence} × {direct,
+    aggregated, TRAM}
+
+and every cell is checked for *exact* equality of
+
+* the per-day infection events (``(person, location)`` sets, taken from
+  the parallel run's :class:`~repro.validate.invariants.InvariantChecker`
+  log and the sequential run's location-phase results),
+* the epidemic curve (new infections, cumulative count, prevalence),
+* the final state (per-person PTTS state, dwell timers and the state
+  histogram).
+
+A mismatch produces a structured :class:`Divergence` naming the first
+divergent day, the offending location/person and the transmission RNG
+key involved — the information needed to bisect a keyed-RNG regression.
+
+The splitLoc distribution transforms the graph, so its cells are
+compared against a sequential reference run on the *split* graph (the
+split is a preprocessing step; equivalence is claimed per graph, and
+``tests/partition/test_splitloc.py`` separately pins the split's own
+semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.charm.machine import Machine, MachineConfig
+from repro.core.parallel import Distribution, ParallelEpiSimdemics
+from repro.core.scenario import Scenario
+from repro.core.simulator import SequentialSimulator, SimulationResult
+from repro.util.rng import RngFactory
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "SYNC_MODES",
+    "DELIVERY_MODES",
+    "Divergence",
+    "CellResult",
+    "OracleReport",
+    "sequential_reference",
+    "run_cell",
+    "run_matrix",
+]
+
+DISTRIBUTIONS = ("rr", "gp", "gp-split")
+SYNC_MODES = ("cd", "qd")
+DELIVERY_MODES = ("direct", "aggregated", "tram")
+
+#: Matrix-wide default machine: 2 SMP nodes, 8 PEs — small enough for
+#: CI, large enough that every protocol (tree collectives, comm
+#: threads, inter-node wires) actually runs.
+DEFAULT_MACHINE = MachineConfig(n_nodes=2, cores_per_node=4, smp=True, processes_per_node=1)
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """Structured description of the first sequential↔parallel mismatch."""
+
+    kind: str  # "events" | "curve" | "final-state"
+    day: int | None = None
+    location: int | None = None
+    person: int | None = None
+    #: derived seed of the transmission stream involved (events only)
+    rng_key: int | None = None
+    detail: str = ""
+
+    def format(self) -> str:
+        parts = [f"first divergence: {self.kind}"]
+        if self.day is not None:
+            parts.append(f"day {self.day}")
+        if self.location is not None:
+            parts.append(f"location {self.location}")
+        if self.person is not None:
+            parts.append(f"person {self.person}")
+        if self.rng_key is not None:
+            parts.append(f"rng key 0x{self.rng_key:016x}")
+        head = ", ".join(parts)
+        return f"{head}\n  {self.detail}" if self.detail else head
+
+
+@dataclass
+class CellResult:
+    """Outcome of one matrix cell."""
+
+    distribution: str
+    sync: str
+    delivery: str
+    equal: bool
+    checks_passed: int
+    divergence: Divergence | None = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.distribution}×{self.sync}×{self.delivery}"
+
+
+@dataclass
+class OracleReport:
+    """All cells of one matrix run."""
+
+    cells: list[CellResult]
+    n_persons: int
+    n_days: int
+
+    @property
+    def all_equal(self) -> bool:
+        return all(c.equal for c in self.cells)
+
+    @property
+    def total_checks(self) -> int:
+        return sum(c.checks_passed for c in self.cells)
+
+    def format(self) -> str:
+        lines = [
+            f"differential oracle: {len(self.cells)} cells, "
+            f"{self.n_persons} persons × {self.n_days} days"
+        ]
+        for c in self.cells:
+            status = "exact" if c.equal else "DIVERGED"
+            lines.append(f"  {c.label:<24} {status:>8}  ({c.checks_passed} invariant checks)")
+            if c.divergence is not None:
+                lines.append("    " + c.divergence.format().replace("\n", "\n    "))
+        verdict = (
+            "all cells bit-identical to the sequential reference"
+            if self.all_equal
+            else "EQUIVALENCE BROKEN — see divergences above"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# reference side
+# ----------------------------------------------------------------------
+def sequential_reference(
+    scenario: Scenario,
+) -> tuple[SimulationResult, dict[int, set], np.ndarray, np.ndarray]:
+    """Run the sequential simulator, also logging per-day infection events.
+
+    Returns ``(result, events_by_day, health_state, days_remaining)``
+    where ``events_by_day[d]`` is the set of ``(person, location)``
+    transmissions of day ``d``.
+    """
+    from repro.core.metrics import EpiCurve, state_histogram
+
+    sim = SequentialSimulator(scenario)
+    curve = EpiCurve()
+    result = SimulationResult(curve=curve, final_histogram={})
+    events: dict[int, set] = {}
+    for day in range(scenario.n_days):
+        day_result, phase = sim.step_day()
+        events[day] = {(ev.person, ev.location) for ev in phase.infections}
+        result.days.append(day_result)
+        curve.record_day(day_result.new_infections, day_result.prevalence)
+    result.final_histogram = state_histogram(sim.health_state, scenario.disease)
+    return result, events, sim.health_state, sim.days_remaining
+
+
+# ----------------------------------------------------------------------
+# comparison
+# ----------------------------------------------------------------------
+def _diff_events(
+    scenario: Scenario, seq_events: dict[int, set], par_events: dict[int, set]
+) -> Divergence | None:
+    factory = scenario.rng_factory
+    for day in range(scenario.n_days):
+        s, p = seq_events.get(day, set()), par_events.get(day, set())
+        if s == p:
+            continue
+        only_seq = sorted(s - p, key=lambda e: (e[1], e[0]))
+        only_par = sorted(p - s, key=lambda e: (e[1], e[0]))
+        person, location = (only_seq or only_par)[0]
+        side = "sequential-only" if only_seq else "parallel-only"
+        return Divergence(
+            kind="events",
+            day=day,
+            location=location,
+            person=person,
+            rng_key=factory.seed(RngFactory.LOCATION, day, location, person),
+            detail=(
+                f"{side} infection event; {len(only_seq)} event(s) missing from "
+                f"the parallel run, {len(only_par)} extra"
+            ),
+        )
+    return None
+
+
+def _diff_curve(scenario: Scenario, seq_curve, par_curve) -> Divergence | None:
+    for day in range(scenario.n_days):
+        if day >= par_curve.n_days:
+            return Divergence(
+                kind="curve", day=day,
+                detail=f"parallel curve ends after {par_curve.n_days} day(s)",
+            )
+        if seq_curve.new_infections[day] != par_curve.new_infections[day]:
+            return Divergence(
+                kind="curve", day=day,
+                detail=(
+                    f"new infections differ: sequential "
+                    f"{seq_curve.new_infections[day]}, parallel "
+                    f"{par_curve.new_infections[day]}"
+                ),
+            )
+        if not np.isclose(seq_curve.prevalence[day], par_curve.prevalence[day]):
+            return Divergence(
+                kind="curve", day=day,
+                detail=(
+                    f"prevalence differs: sequential {seq_curve.prevalence[day]!r}, "
+                    f"parallel {par_curve.prevalence[day]!r}"
+                ),
+            )
+    return None
+
+
+def _diff_final_state(
+    seq_state: np.ndarray,
+    seq_remaining: np.ndarray,
+    sim: ParallelEpiSimdemics,
+) -> Divergence | None:
+    names = [s.name for s in sim.scenario.disease.states]
+    if not np.array_equal(seq_state, sim.health_state):
+        p = int(np.flatnonzero(seq_state != sim.health_state)[0])
+        return Divergence(
+            kind="final-state", person=p,
+            detail=(
+                f"final PTTS state differs: sequential {names[int(seq_state[p])]!r}, "
+                f"parallel {names[int(sim.health_state[p])]!r}"
+            ),
+        )
+    if not np.array_equal(seq_remaining, sim.days_remaining):
+        p = int(np.flatnonzero(seq_remaining != sim.days_remaining)[0])
+        return Divergence(
+            kind="final-state", person=p,
+            detail=(
+                f"dwell timer differs: sequential {int(seq_remaining[p])}, "
+                f"parallel {int(sim.days_remaining[p])}"
+            ),
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# matrix driver
+# ----------------------------------------------------------------------
+def _make_partition(graph, distribution: str, n_pes: int):
+    if distribution == "rr":
+        from repro.partition import round_robin_partition
+
+        return round_robin_partition(graph, n_pes)
+    from repro.partition import partition_bipartite
+
+    return partition_bipartite(graph, n_pes)
+
+
+def run_cell(
+    scenario: Scenario,
+    machine: MachineConfig,
+    partition,
+    sync: str,
+    delivery: str,
+    aggregation_bytes: int = 8 * 1024,
+) -> ParallelEpiSimdemics:
+    """Run one matrix cell with invariant checks on; return the sim."""
+    dist = Distribution.from_partition(partition, Machine(machine))
+    sim = ParallelEpiSimdemics(
+        scenario,
+        machine,
+        dist,
+        sync=sync,
+        delivery=delivery,
+        aggregation_bytes=aggregation_bytes,
+        validate=True,
+    )
+    sim.run()
+    return sim
+
+
+def run_matrix(
+    graph,
+    *,
+    machine: MachineConfig | None = None,
+    n_days: int = 8,
+    seed: int = 0,
+    initial_infections: int = 10,
+    transmissibility: float = 2.0e-4,
+    distributions: tuple[str, ...] = DISTRIBUTIONS,
+    sync_modes: tuple[str, ...] = SYNC_MODES,
+    deliveries: tuple[str, ...] = DELIVERY_MODES,
+    progress=None,
+) -> OracleReport:
+    """Run the full differential matrix on ``graph``.
+
+    ``progress`` is an optional callable receiving one line per finished
+    cell (the CLI passes ``print``).
+    """
+    from repro.core.transmission import TransmissionModel
+    from repro.partition import split_heavy_locations
+
+    machine = machine or DEFAULT_MACHINE
+    n_pes = Machine(machine).n_pes
+
+    def scenario_for(g) -> Scenario:
+        return Scenario(
+            graph=g,
+            n_days=n_days,
+            seed=seed,
+            initial_infections=initial_infections,
+            transmission=TransmissionModel(transmissibility),
+        )
+
+    # Graph variants and their sequential references (computed once).
+    variants: dict[str, tuple] = {}
+
+    def variant_for(distribution: str):
+        key = "split" if distribution.endswith("-split") else "raw"
+        if key not in variants:
+            g = (
+                split_heavy_locations(graph, max_partitions=4 * n_pes).graph
+                if key == "split"
+                else graph
+            )
+            variants[key] = (g, sequential_reference(scenario_for(g)))
+        return variants[key]
+
+    cells: list[CellResult] = []
+    partitions: dict[str, object] = {}
+    for distribution in distributions:
+        g, (seq_result, seq_events, seq_state, seq_remaining) = variant_for(distribution)
+        if distribution not in partitions:
+            partitions[distribution] = _make_partition(
+                g, "rr" if distribution == "rr" else "gp", n_pes
+            )
+        for sync in sync_modes:
+            for delivery in deliveries:
+                sim = run_cell(
+                    scenario_for(g), machine, partitions[distribution], sync, delivery
+                )
+                par_curve = sim.curve
+                divergence = (
+                    _diff_events(sim.scenario, seq_events, {
+                        d: {(ev.person, ev.location) for ev in evs}
+                        for d, evs in sim.checker.infection_log.items()
+                    })
+                    or _diff_curve(sim.scenario, seq_result.curve, par_curve)
+                    or _diff_final_state(seq_state, seq_remaining, sim)
+                )
+                cell = CellResult(
+                    distribution=distribution,
+                    sync=sync,
+                    delivery=delivery,
+                    equal=divergence is None,
+                    checks_passed=sim.checker.checks_passed,
+                    divergence=divergence,
+                )
+                cells.append(cell)
+                if progress is not None:
+                    status = "exact" if cell.equal else "DIVERGED"
+                    progress(f"{cell.label:<24} {status}  ({cell.checks_passed} checks)")
+    return OracleReport(cells=cells, n_persons=graph.n_persons, n_days=n_days)

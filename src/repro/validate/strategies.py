@@ -1,0 +1,141 @@
+"""Hypothesis strategies producing small-but-adversarial inputs.
+
+Property-based tests across the suite draw from these strategies
+instead of rolling their own graphs: the populations are tiny (tens of
+persons) so a full sequential↔parallel differential run fits in a
+hypothesis example budget, but they are deliberately skewed toward the
+corners where distribution bugs hide:
+
+* **heavy-tail** — one location absorbs most visits (the paper's
+  splitLoc motivation: a single overloaded LocationManager);
+* **zero-visit day** — persons exist but nobody goes anywhere, so the
+  visit phase must complete with zero messages (detector edge case);
+* **one-person** — a degenerate population of a single person;
+* **single-subloc** — every location has exactly one sublocation, the
+  degenerate case for the splitLoc preprocessor.
+
+All drawn graphs satisfy ``PersonLocationGraph.validate()`` and are
+sorted by ``(person, start)`` as the loaders guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.core.scenario import Scenario
+from repro.core.transmission import TransmissionModel
+from repro.synthpop.graph import MINUTES_PER_DAY, LocationType, PersonLocationGraph
+
+__all__ = ["PROFILES", "visit_graphs", "scenarios", "machine_configs"]
+
+PROFILES = ("uniform", "heavy-tail", "zero-visits", "one-person", "single-subloc")
+
+
+def _build_graph(
+    name: str,
+    n_persons: int,
+    n_locations: int,
+    visits: list[tuple[int, int, int, int, int]],
+    n_sublocs: np.ndarray,
+    rng: np.random.Generator,
+) -> PersonLocationGraph:
+    visits.sort(key=lambda v: (v[0], v[3]))
+    cols = list(zip(*visits)) if visits else [[], [], [], [], []]
+    g = PersonLocationGraph(
+        name=name,
+        n_persons=n_persons,
+        n_locations=n_locations,
+        visit_person=np.asarray(cols[0], dtype=np.int64),
+        visit_location=np.asarray(cols[1], dtype=np.int64),
+        visit_subloc=np.asarray(cols[2], dtype=np.int64),
+        visit_start=np.asarray(cols[3], dtype=np.int64),
+        visit_end=np.asarray(cols[4], dtype=np.int64),
+        location_n_sublocs=n_sublocs,
+        location_type=rng.integers(0, len(LocationType), n_locations).astype(np.int64),
+        person_age=rng.integers(1, 90, n_persons).astype(np.int64),
+        person_home=rng.integers(0, n_locations, n_persons).astype(np.int64),
+    )
+    g.validate()
+    return g
+
+
+@st.composite
+def visit_graphs(
+    draw,
+    max_persons: int = 24,
+    max_locations: int = 10,
+    profiles: tuple[str, ...] = PROFILES,
+):
+    """Draw a small validated :class:`PersonLocationGraph`."""
+    profile = draw(st.sampled_from(profiles))
+    rng_seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(rng_seed)
+
+    if profile == "one-person":
+        n_persons, n_locations = 1, 1
+    else:
+        n_persons = draw(st.integers(2, max_persons))
+        n_locations = draw(st.integers(1, max_locations))
+
+    if profile == "single-subloc":
+        n_sublocs = np.ones(n_locations, dtype=np.int64)
+    else:
+        n_sublocs = rng.integers(1, 4, n_locations).astype(np.int64)
+
+    visits: list[tuple[int, int, int, int, int]] = []
+    if profile != "zero-visits":
+        # Heavy-tail funnels ~80% of visits into location 0.
+        hot_bias = draw(st.floats(0.7, 0.95)) if profile == "heavy-tail" else None
+        for person in range(n_persons):
+            n_visits = draw(st.integers(0 if profile == "uniform" else 1, 3))
+            for _ in range(n_visits):
+                if hot_bias is not None and rng.random() < hot_bias:
+                    loc = 0
+                else:
+                    loc = int(rng.integers(0, n_locations))
+                subloc = int(rng.integers(0, n_sublocs[loc]))
+                start = int(rng.integers(0, MINUTES_PER_DAY - 1))
+                end = int(rng.integers(start + 1, MINUTES_PER_DAY + 1))
+                visits.append((person, loc, subloc, start, end))
+
+    return _build_graph(
+        f"hyp-{profile}-{rng_seed}", n_persons, n_locations, visits, n_sublocs, rng
+    )
+
+
+@st.composite
+def scenarios(
+    draw,
+    max_persons: int = 24,
+    max_days: int = 5,
+    profiles: tuple[str, ...] = PROFILES,
+):
+    """Draw a full :class:`Scenario` around a drawn graph."""
+    from repro.core.disease import influenza_model, sir_model
+
+    graph = draw(visit_graphs(max_persons=max_persons, profiles=profiles))
+    disease = draw(st.sampled_from([influenza_model, sir_model]))()
+    return Scenario(
+        graph=graph,
+        disease=disease,
+        transmission=TransmissionModel(draw(st.floats(1e-5, 5e-3))),
+        n_days=draw(st.integers(1, max_days)),
+        initial_infections=draw(st.integers(0, min(3, graph.n_persons))),
+        seed=draw(st.integers(0, 2**16)),
+    )
+
+
+@st.composite
+def machine_configs(draw, max_pes: int = 8):
+    """Draw a small :class:`MachineConfig` (1–2 nodes, SMP or not)."""
+    from repro.charm.machine import MachineConfig
+
+    n_nodes = draw(st.integers(1, 2))
+    cores = draw(st.integers(2, max(2, max_pes // n_nodes)))
+    return MachineConfig(
+        n_nodes=n_nodes,
+        cores_per_node=cores,
+        smp=draw(st.booleans()),
+        processes_per_node=1,
+    )

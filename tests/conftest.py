@@ -8,9 +8,18 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.core import Scenario, TransmissionModel
 from repro.synthpop import PopulationConfig, generate_population, state_population
+
+# Property-test profiles (select with --hypothesis-profile=<name>):
+# "ci" disables the per-example deadline (simulation examples are
+# seconds-scale on cold caches) and prints the reproduction blob on
+# failure so a CI flake can be replayed locally with @reproduce_failure.
+settings.register_profile("ci", deadline=None, print_blob=True, max_examples=25)
+settings.register_profile("dev", deadline=None)
+settings.register_profile("thorough", deadline=None, max_examples=200)
 
 
 @pytest.fixture(scope="session")

@@ -128,3 +128,53 @@ class TestRunWithCheckpointing:
             _scenario(tiny_graph), tmp_path / "ck.npz", checkpoint_every=4
         )
         assert result.curve == plain.curve
+
+
+class TestRoundTripProperty:
+    """Hypothesis: for arbitrary adversarial scenarios (drawn from the
+    shared ``repro.validate.strategies`` pool), interrupting at *any*
+    day boundary and resuming from disk reproduces the uninterrupted
+    epidemic exactly."""
+
+    @staticmethod
+    def _run_tail(sim, curve):
+        while sim.day < sim.scenario.n_days:
+            dr, _ = sim.step_day()
+            curve.record_day(dr.new_infections, dr.prevalence)
+        return curve
+
+    def test_roundtrip_any_scenario_any_cut(self):
+        import tempfile
+        from pathlib import Path
+
+        from hypothesis import HealthCheck, given, settings, strategies as st
+
+        from repro.validate.strategies import scenarios
+
+        @settings(
+            max_examples=15, deadline=None,
+            suppress_health_check=[HealthCheck.too_slow],
+        )
+        @given(scenarios(max_persons=20, max_days=5), st.data())
+        def prop(scenario, data):
+            ref_sim = SequentialSimulator(scenario)
+            reference = ref_sim.run()
+            cut = data.draw(
+                st.integers(0, scenario.n_days), label="checkpoint day"
+            )
+            sim = SequentialSimulator(scenario)
+            curve = EpiCurve()
+            for _ in range(cut):
+                dr, _ = sim.step_day()
+                curve.record_day(dr.new_infections, dr.prevalence)
+            sim._checkpoint_curve = curve
+            with tempfile.TemporaryDirectory() as tmp:
+                path = Path(tmp) / "ck.npz"
+                save_checkpoint(sim, path)
+                resumed = load_checkpoint(scenario, path)
+            final = self._run_tail(resumed, resumed._checkpoint_curve)
+            assert final == reference.curve
+            np.testing.assert_array_equal(resumed.health_state, ref_sim.health_state)
+            np.testing.assert_array_equal(resumed.days_remaining, ref_sim.days_remaining)
+
+        prop()

@@ -103,3 +103,66 @@ class TestStats:
         assert res.infections, "expected some transmissions at 30% prevalence"
         for ev in res.infections:
             assert 0 < ev.minute <= 1440
+
+
+class TestCounterMerge:
+    """Stats accumulate Counter-style: merging results that share
+    location keys must *add* counts, never overwrite them."""
+
+    def test_merge_adds_on_shared_locations(self, tiny_graph):
+        sc, state = _setup(tiny_graph)
+        rows = np.arange(tiny_graph.n_visits, dtype=np.int64)
+        a = compute_infections(
+            rows, tiny_graph, state, sc.disease, sc.transmission, 0,
+            RngFactory(0), collect_stats=True,
+        )
+        b = compute_infections(
+            rows, tiny_graph, state, sc.disease, sc.transmission, 1,
+            RngFactory(0), collect_stats=True,
+        )
+        expected = {loc: a.events[loc] + b.events[loc] for loc in set(a.events) | set(b.events)}
+        expected_inter = {
+            loc: a.interactions[loc] + b.interactions[loc]
+            for loc in set(a.interactions) | set(b.interactions)
+        }
+        a.merge(b)
+        assert dict(a.events) == expected
+        assert dict(a.interactions) == expected_inter
+
+    def test_merge_across_location_groups(self, tiny_graph):
+        """The parallel path: each LocationManager computes a disjoint
+        location group; merged per-location stats must equal the
+        whole-population call's."""
+        sc, state = _setup(tiny_graph)
+        rows = np.arange(tiny_graph.n_visits, dtype=np.int64)
+        whole = compute_infections(
+            rows, tiny_graph, state, sc.disease, sc.transmission, 0,
+            RngFactory(sc.seed), collect_stats=True,
+        )
+        locs = tiny_graph.visit_location
+        merged = None
+        for part in range(3):
+            res = compute_infections(
+                rows[locs[rows] % 3 == part], tiny_graph, state, sc.disease,
+                sc.transmission, 0, RngFactory(sc.seed), collect_stats=True,
+            )
+            if merged is None:
+                merged = res
+            else:
+                merged.merge(res)
+        assert dict(merged.events) == dict(whole.events)
+        assert dict(merged.interactions) == dict(whole.interactions)
+        assert _key(merged.infections) == _key(whole.infections)
+
+    def test_sequential_run_accumulates_location_stats(self, tiny_graph):
+        from repro.core import SequentialSimulator
+
+        sc = Scenario(
+            graph=tiny_graph, n_days=6, seed=3, initial_infections=8,
+            transmission=TransmissionModel(3e-4),
+        )
+        result = SequentialSimulator(sc, collect_location_stats=True).run()
+        # Every day contributes 2 events per visit made.
+        assert sum(result.location_events.values()) == 2 * sum(
+            d.visits_made for d in result.days
+        )

@@ -132,3 +132,88 @@ class TestEpidemicEquivalence:
         base = np.mean([attack(wy_graph, s) for s in range(4)])
         split = np.mean([attack(sr.graph, s) for s in range(4)])
         assert split == pytest.approx(base, abs=0.12)
+
+
+class TestPostconditionProperties:
+    """Hypothesis: splitLoc postconditions hold on arbitrary adversarial
+    graphs drawn from the shared ``repro.validate.strategies`` pool."""
+
+    @staticmethod
+    def _prop(check, profiles=("uniform", "heavy-tail", "single-subloc")):
+        from hypothesis import HealthCheck, given, settings
+
+        from repro.validate.strategies import visit_graphs
+
+        @settings(
+            max_examples=30, deadline=None,
+            suppress_health_check=[HealthCheck.too_slow],
+        )
+        @given(visit_graphs(profiles=profiles))
+        def run(graph):
+            check(graph, split_heavy_locations(graph, max_partitions=4))
+
+        run()
+
+    def test_split_graph_stays_valid_and_conserves_visits(self):
+        def check(graph, sr):
+            sr.graph.validate()
+            assert sr.graph.n_visits == graph.n_visits
+            np.testing.assert_array_equal(
+                np.sort(sr.graph.visit_person), np.sort(graph.visit_person)
+            )
+            # Every visit's location maps back to its original.
+            assert sr.origin.shape[0] == sr.graph.n_locations
+
+        self._prop(check)
+
+    def test_no_sublocation_split_across_pieces(self):
+        """All visits that shared (location, sublocation) before the
+        split land in the same piece — the DES of one sublocation is
+        never divided (divide mode's defining postcondition)."""
+
+        def check(graph, sr):
+            if sr.n_split == 0:
+                return
+            # Row correspondence: the split preserves person/start/end and
+            # the original location per row, so sorting both sides by
+            # (person, start, end, original location) aligns them even
+            # when one person has tied intervals at different locations.
+            order0 = np.lexsort(
+                (graph.visit_location, graph.visit_end, graph.visit_start, graph.visit_person)
+            )
+            new_origin = sr.origin[sr.graph.visit_location]
+            order1 = np.lexsort(
+                (new_origin, sr.graph.visit_end, sr.graph.visit_start, sr.graph.visit_person)
+            )
+            old_key = list(
+                zip(graph.visit_location[order0].tolist(), graph.visit_subloc[order0].tolist())
+            )
+            new_loc = sr.graph.visit_location[order1]
+            piece_of: dict[tuple, int] = {}
+            for key, nl in zip(old_key, new_loc.tolist()):
+                if key in piece_of:
+                    assert piece_of[key] == nl, (
+                        f"sublocation {key} split across pieces {piece_of[key]} and {nl}"
+                    )
+                else:
+                    piece_of[key] = nl
+
+        self._prop(check)
+
+    def test_sublocation_totals_conserved(self):
+        """Σ sublocations is conserved per original location, so with the
+        *original* type weights the summed piece weights equal the
+        original location weights exactly."""
+        from repro.partition.splitloc import location_weights, sublocation_type_weights
+
+        def check(graph, sr):
+            per_original = np.zeros(graph.n_locations, dtype=np.int64)
+            np.add.at(per_original, sr.origin, sr.graph.location_n_sublocs)
+            np.testing.assert_array_equal(per_original, graph.location_n_sublocs)
+            tw = sublocation_type_weights(graph)
+            w_new = location_weights(sr.graph, tw)
+            summed = np.zeros(graph.n_locations, dtype=np.float64)
+            np.add.at(summed, sr.origin, w_new)
+            np.testing.assert_allclose(summed, location_weights(graph, tw))
+
+        self._prop(check)
