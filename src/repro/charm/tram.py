@@ -49,7 +49,10 @@ class TramChannel:
         Channel name.
     n_pes:
         Grid size; the virtual mesh is ``rows × cols`` with
-        ``rows = floor(sqrt(P))`` (the last row may be ragged).
+        ``cols = floor(sqrt(P))`` and ``rows = ceil(P / cols)`` (the
+        last row may be ragged).  Row-first routing with the ragged
+        fallback in :meth:`next_hop` still delivers every record in at
+        most two mesh hops.
     buffer_bytes:
         Flush threshold per (PE, neighbour) buffer; 0 disables
         buffering (records forward immediately, still via the mesh).

@@ -80,6 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also replay the recorded golden traces")
     v.add_argument("--refresh-golden", action="store_true",
                    help="re-record the golden traces instead of running the matrix")
+    v.add_argument("--kernel", choices=["flat", "grouped"], default="flat",
+                   help="exposure kernel for the parallel cells (the sequential "
+                        "reference always runs 'grouped')")
+    v.add_argument("--diff-kernels", action="store_true",
+                   help="also run the grouped-vs-flat kernel differential "
+                        "(ordered events, minutes, curve, final state)")
     return p
 
 
@@ -224,7 +230,7 @@ def _cmd_scale(args) -> int:
 def _cmd_validate(args) -> int:
     from repro.synthpop import PopulationConfig, generate_population
     from repro.validate.golden import GOLDEN_CASES, refresh_all, verify
-    from repro.validate.oracle import run_matrix
+    from repro.validate.oracle import run_kernel_differential, run_matrix
 
     if args.refresh_golden:
         for path in refresh_all():
@@ -235,14 +241,21 @@ def _cmd_validate(args) -> int:
         PopulationConfig(n_persons=args.persons), args.seed,
         name=f"validate-{args.persons}",
     )
+    n_days = 4 if args.quick else args.days
     report = run_matrix(
         graph,
-        n_days=4 if args.quick else args.days,
+        n_days=n_days,
         seed=args.seed,
+        kernel=args.kernel,
         progress=lambda line: print("  " + line),
     )
     print(report.format())
     ok = report.all_equal
+
+    if args.diff_kernels:
+        kreport = run_kernel_differential(graph, n_days=n_days, seed=args.seed)
+        print(kreport.format())
+        ok = ok and kreport.equal
 
     if args.golden:
         for case in GOLDEN_CASES:

@@ -12,12 +12,18 @@ Two equivalent implementations are provided:
 * :class:`LocationDES` — the event-driven sweep, faithful to the
   paper's description and used as the semantic reference;
 * :func:`pairwise_exposures` — a vectorised all-pairs interval-overlap
-  computation used on the hot path.  Property-based tests assert the
-  two produce identical interaction sets.
+  computation for one location (used by the ``grouped`` exposure
+  kernel);
+* :func:`blocked_pairwise_exposures` — the same pair set for *all*
+  locations at once, enumerated per ``(location, sublocation)`` block
+  so a heavy location never materialises pairs across sublocation
+  boundaries (used by the ``flat`` exposure kernel).
 
-Both also report the statistics the dynamic load model consumes
-(paper §III-A): the number of arrive/depart events, the number of
-interactions, and the sum of reciprocal interactions per event.
+Property-based tests assert all three produce identical interaction
+sets.  The DES also reports the statistics the dynamic load model
+consumes (paper §III-A): the number of arrive/depart events, the
+number of interactions, and the sum of reciprocal interactions per
+event.
 """
 
 from __future__ import annotations
@@ -26,7 +32,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Interaction", "DESStats", "LocationDES", "pairwise_exposures"]
+__all__ = [
+    "Interaction",
+    "DESStats",
+    "LocationDES",
+    "pairwise_exposures",
+    "blocked_pairwise_exposures",
+]
 
 
 @dataclass(frozen=True)
@@ -177,6 +189,80 @@ def pairwise_exposures(
     return (
         s_grid[mask].astype(np.int64),
         i_grid[mask].astype(np.int64),
+        o_start[mask].astype(np.int64),
+        o_end[mask].astype(np.int64),
+    )
+
+
+def blocked_pairwise_exposures(
+    location: np.ndarray,
+    subloc: np.ndarray,
+    start: np.ndarray,
+    end: np.ndarray,
+    is_susceptible: np.ndarray,
+    is_infectious: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """S×I overlaps for the *whole* visit set, blocked by sublocation.
+
+    The segmented counterpart of :func:`pairwise_exposures`: one call
+    covers every location, and pairs are enumerated per ``(location,
+    sublocation)`` block instead of per location.  The pair set is
+    identical — people only interact within a sublocation — but a split
+    or heavy location never materialises the cross-sublocation part of
+    its S×I product, the same property splitLoc exploits, and the
+    per-location Python loop disappears entirely.
+
+    Returns ``(sus_idx, inf_idx, overlap_start, overlap_end)``, indices
+    into the input arrays, one row per interacting pair with positive
+    overlap (order may differ from the other implementations).
+    """
+    empty = np.empty(0, dtype=np.int64)
+    n = len(start)
+    if n == 0 or not (is_susceptible.any() and is_infectious.any()):
+        return empty, empty, empty.copy(), empty.copy()
+
+    # Sort the epidemiologically relevant visits by (location,
+    # sublocation); each run of equal keys is one interaction block.
+    relevant = np.flatnonzero(is_susceptible | is_infectious)
+    order = relevant[np.lexsort((subloc[relevant], location[relevant]))]
+    loc_s = location[order]
+    sub_s = subloc[order]
+    new_block = np.empty(order.size, dtype=bool)
+    new_block[0] = True
+    np.not_equal(loc_s[1:], loc_s[:-1], out=new_block[1:])
+    new_block[1:] |= sub_s[1:] != sub_s[:-1]
+    block_id = np.cumsum(new_block) - 1
+    n_blocks = int(block_id[-1]) + 1
+
+    # Positions (into `order`) of the susceptible/infectious members of
+    # each block, plus per-block counts — the segmented S×I geometry.
+    sus_pos = np.flatnonzero(is_susceptible[order])
+    inf_pos = np.flatnonzero(is_infectious[order])
+    ns = np.bincount(block_id[sus_pos], minlength=n_blocks)
+    ni = np.bincount(block_id[inf_pos], minlength=n_blocks)
+    pair_counts = ns * ni
+    total = int(pair_counts.sum())
+    if total == 0:
+        return empty, empty, empty.copy(), empty.copy()
+
+    # Enumerate each block's ns×ni product without a Python loop: rank
+    # every pair within its block, then div/mod by the block's |I|.
+    pair_offset = np.cumsum(pair_counts) - pair_counts
+    rank = np.arange(total, dtype=np.int64) - np.repeat(pair_offset, pair_counts)
+    ni_of_pair = np.repeat(ni, pair_counts)
+    s_local = rank // ni_of_pair
+    i_local = rank - s_local * ni_of_pair
+    s_idx = order[sus_pos[np.repeat(np.cumsum(ns) - ns, pair_counts) + s_local]]
+    i_idx = order[inf_pos[np.repeat(np.cumsum(ni) - ni, pair_counts) + i_local]]
+
+    o_start = np.maximum(start[s_idx], start[i_idx])
+    o_end = np.minimum(end[s_idx], end[i_idx])
+    # A visit that is somehow both susceptible and infectious must not
+    # pair with itself (mirrors pairwise_exposures' not_self guard).
+    mask = (o_end > o_start) & (s_idx != i_idx)
+    return (
+        s_idx[mask].astype(np.int64),
+        i_idx[mask].astype(np.int64),
         o_start[mask].astype(np.int64),
         o_end[mask].astype(np.int64),
     )

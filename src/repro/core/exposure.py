@@ -6,6 +6,25 @@ delegate the location phase (paper step 3) to
 ``(day, location, person)``, the outcome is independent of how the
 locations are grouped into LocationManagers — the property that makes
 the parallel execution reproduce the sequential one exactly.
+
+Two interchangeable kernels implement the phase:
+
+* ``"flat"`` (default) — one global sort of the day's candidate visits
+  by ``(location, sublocation)``, sublocation-blocked pair enumeration
+  (:func:`~repro.core.des.blocked_pairwise_exposures`), segment-reduced
+  hazard accumulation over the whole visit set, and one batched
+  keyed-uniform draw (:meth:`~repro.util.rng.RngFactory.keyed_uniforms`)
+  for every exposed person at once;
+* ``"grouped"`` — the reference formulation: a Python loop over
+  locations, a per-location S×I cross product masked by sublocation
+  after materialisation, and one keyed ``Generator`` per exposed
+  person.
+
+Both kernels produce bit-identical results — same infection events in
+the same order, same statistics — which ``repro validate
+--diff-kernels`` and the differential oracle certify; ``"flat"`` is
+simply much faster on heavy-tailed populations (see
+``benchmarks/bench_exposure_kernel.py``).
 """
 
 from __future__ import annotations
@@ -15,12 +34,22 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.des import pairwise_exposures
+from repro.core.des import blocked_pairwise_exposures, pairwise_exposures
 from repro.core.disease import DiseaseModel
 from repro.core.transmission import TransmissionModel
 from repro.util.rng import RngFactory
 
-__all__ = ["InfectionEvent", "LocationPhaseResult", "compute_infections"]
+__all__ = [
+    "KERNELS",
+    "DEFAULT_KERNEL",
+    "InfectionEvent",
+    "LocationPhaseResult",
+    "compute_infections",
+]
+
+#: Available exposure kernels (see module docstring).
+KERNELS = ("flat", "grouped")
+DEFAULT_KERNEL = "flat"
 
 
 @dataclass(frozen=True)
@@ -57,6 +86,7 @@ def compute_infections(
     day: int,
     rng_factory: RngFactory,
     collect_stats: bool = False,
+    kernel: str | None = None,
 ) -> LocationPhaseResult:
     """Run the location phase over the given visit rows.
 
@@ -74,6 +104,9 @@ def compute_infections(
     collect_stats:
         Also count events/interactions per location (costs one extra
         pass; used when fitting the dynamic load model).
+    kernel:
+        ``"flat"`` (default) or ``"grouped"`` — see the module
+        docstring.  The two are bit-for-bit equivalent.
 
     Notes
     -----
@@ -82,6 +115,9 @@ def compute_infections(
     infection — distributionally identical to per-pair Bernoulli trials
     and, crucially, order-independent.
     """
+    kernel = DEFAULT_KERNEL if kernel is None else kernel
+    if kernel not in KERNELS:
+        raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
     result = LocationPhaseResult()
     if visit_rows.size == 0:
         return result
@@ -109,6 +145,97 @@ def compute_infections(
     if not cand.any():
         return result
 
+    impl = _flat_kernel if kernel == "flat" else _grouped_kernel
+    impl(
+        result, cand, vp, vl, vs, vstart, vend, states, sus_mask, inf_mask,
+        graph, disease, transmission, day, rng_factory, collect_stats,
+    )
+    return result
+
+
+def _flat_kernel(
+    result: LocationPhaseResult,
+    cand: np.ndarray,
+    vp: np.ndarray,
+    vl: np.ndarray,
+    vs: np.ndarray,
+    vstart: np.ndarray,
+    vend: np.ndarray,
+    states: np.ndarray,
+    sus_mask: np.ndarray,
+    inf_mask: np.ndarray,
+    graph,
+    disease: DiseaseModel,
+    transmission: TransmissionModel,
+    day: int,
+    rng_factory: RngFactory,
+    collect_stats: bool,
+) -> None:
+    """Whole-visit-set vectorised kernel: no per-location Python loop."""
+    idx = np.flatnonzero(cand)
+    s_idx, i_idx, o_start, o_end = blocked_pairwise_exposures(
+        vl[idx], vs[idx], vstart[idx], vend[idx], sus_mask[idx], inf_mask[idx]
+    )
+    if s_idx.size == 0:
+        return
+    # Restore the grouped kernel's pair order (ascending susceptible
+    # row, infectious rows in block order within each) so per-person
+    # hazard sums accumulate in the same sequence — float addition is
+    # not associative, and bit-for-bit kernel equality is the contract.
+    order = np.argsort(s_idx, kind="stable")
+    s_idx, i_idx = s_idx[order], i_idx[order]
+    o_end = o_end[order]
+    overlap = (o_end - o_start[order]).astype(np.float64)
+
+    if collect_stats:
+        pair_locs, pair_counts = np.unique(vl[idx[s_idx]], return_counts=True)
+        result.interactions.update(
+            {int(l): int(c) for l, c in zip(pair_locs, pair_counts)}
+        )
+
+    hazards = transmission.hazard(
+        overlap,
+        disease.infectivity[states[idx[i_idx]]],
+        disease.susceptibility[states[idx[s_idx]]],
+    )
+    # Segment-reduce per (location, person of the susceptible visit):
+    # total hazard and earliest potential infection minute.
+    key = vl[idx[s_idx]] * np.int64(graph.n_persons) + vp[idx[s_idx]]
+    uniq_key, inv = np.unique(key, return_inverse=True)
+    total_h = np.bincount(inv, weights=hazards, minlength=uniq_key.size)
+    first_minute = np.full(uniq_key.size, np.iinfo(np.int64).max)
+    np.minimum.at(first_minute, inv, o_end)
+    probs = transmission.probability(total_h)
+    locs = uniq_key // graph.n_persons
+    persons = uniq_key - locs * graph.n_persons
+    u = rng_factory.keyed_uniforms(RngFactory.LOCATION, day, locs, persons)
+    for j in np.flatnonzero(u < probs):
+        result.infections.append(
+            InfectionEvent(
+                person=int(persons[j]), location=int(locs[j]), minute=int(first_minute[j])
+            )
+        )
+
+
+def _grouped_kernel(
+    result: LocationPhaseResult,
+    cand: np.ndarray,
+    vp: np.ndarray,
+    vl: np.ndarray,
+    vs: np.ndarray,
+    vstart: np.ndarray,
+    vend: np.ndarray,
+    states: np.ndarray,
+    sus_mask: np.ndarray,
+    inf_mask: np.ndarray,
+    graph,
+    disease: DiseaseModel,
+    transmission: TransmissionModel,
+    day: int,
+    rng_factory: RngFactory,
+    collect_stats: bool,
+) -> None:
+    """Reference kernel: per-location loop, per-person keyed Generators."""
     idx = np.flatnonzero(cand)
     order = idx[np.argsort(vl[idx], kind="stable")]
     loc_sorted = vl[order]
@@ -146,4 +273,3 @@ def compute_infections(
                 result.infections.append(
                     InfectionEvent(person=int(p), location=loc, minute=int(first_minute[j]))
                 )
-    return result

@@ -228,6 +228,7 @@ class _LocationManager(Chare):
         phase = compute_infections(
             rows, sim.graph, sim.health_state, sim.scenario.disease,
             sim.scenario.transmission, day, sim.rng_factory, collect_stats=True,
+            kernel=sim.kernel,
         )
         if sim.checker is not None:
             sim.checker.record_infections(day, phase.infections)
@@ -336,6 +337,11 @@ class ParallelEpiSimdemics:
         TRAM-style aggregation, footnote 1).  A delivery mode is a
         performance choice only — the epidemic is identical under all
         three (asserted by :mod:`repro.validate`).
+    kernel:
+        Exposure-kernel selection for the LocationManagers' interaction
+        computation (``"flat"`` / ``"grouped"``; None = the module
+        default).  Kernels are bit-for-bit equivalent — a performance
+        choice only, like ``delivery``.
     validate:
         Attach an :class:`~repro.validate.invariants.InvariantChecker`
         and enable the runtime's own invariant checks: exactly-once
@@ -378,12 +384,17 @@ class ParallelEpiSimdemics:
         migration_model: MigrationCostModel | None = None,
         runtime: RuntimeSimulator | None = None,
         namespace: str = "",
+        kernel: str | None = None,
         validate: bool = False,
     ):
+        from repro.core.exposure import KERNELS
+
         if sync not in ("cd", "qd"):
             raise ValueError("sync must be 'cd' or 'qd'")
         if delivery not in ("aggregated", "direct", "tram"):
             raise ValueError("delivery must be 'aggregated', 'direct' or 'tram'")
+        if kernel is not None and kernel not in KERNELS:
+            raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
         if lb_strategy not in ("greedy", "refine", "predictive"):
             raise ValueError("lb_strategy must be greedy, refine or predictive")
         if lb_period is not None and lb_period < 1:
@@ -394,6 +405,7 @@ class ParallelEpiSimdemics:
         self.costs = costs or ComputeCostModel()
         self.rng_factory = scenario.rng_factory
         self.namespace = namespace
+        self.kernel = kernel
         self.runtime = (
             runtime
             if runtime is not None

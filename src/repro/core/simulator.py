@@ -72,11 +72,23 @@ class SequentialSimulator:
     collect_location_stats:
         Accumulate per-location event/interaction counts across the run
         (needed when fitting the load model; ~15% slower).
+    kernel:
+        Exposure-kernel selection passed through to
+        :func:`~repro.core.exposure.compute_infections` (``"flat"`` /
+        ``"grouped"``; None = the module default).  Kernels are
+        bit-for-bit equivalent — this is a performance knob and the
+        lever for old-vs-new differential testing.
     """
 
-    def __init__(self, scenario: Scenario, collect_location_stats: bool = False):
+    def __init__(
+        self,
+        scenario: Scenario,
+        collect_location_stats: bool = False,
+        kernel: str | None = None,
+    ):
         self.scenario = scenario
         self.collect_location_stats = collect_location_stats
+        self.kernel = kernel
         g = scenario.graph
         self.rng_factory = scenario.rng_factory
         self.health_state, self.days_remaining = scenario.disease.initial_health(g.n_persons)
@@ -156,6 +168,7 @@ class SequentialSimulator:
             day,
             self.rng_factory,
             collect_stats=self.collect_location_stats,
+            kernel=self.kernel,
         )
 
         # Step 5: apply infect messages.

@@ -16,7 +16,15 @@ from typing import Iterable
 
 import numpy as np
 
-__all__ = ["derive_seed", "spawn_generator", "RngFactory"]
+from repro.util.pcg import first_uniforms
+
+__all__ = [
+    "derive_seed",
+    "derive_seeds",
+    "spawn_generator",
+    "keyed_uniforms",
+    "RngFactory",
+]
 
 _MASK64 = (1 << 64) - 1
 
@@ -44,9 +52,54 @@ def derive_seed(root_seed: int, *keys: int) -> int:
     return int.from_bytes(h.digest(), "little") & _MASK64
 
 
+def derive_seeds(root_seed: int, keys: np.ndarray) -> np.ndarray:
+    """Batched :func:`derive_seed`: one child seed per row of ``keys``.
+
+    ``keys`` is an ``(n, k)`` integer array; row ``j`` yields exactly
+    ``derive_seed(root_seed, *keys[j])``.  The BLAKE2b digests are
+    computed over one contiguous little-endian buffer (hashlib has no
+    batch API, but packing the whole key matrix in a single ``tobytes``
+    keeps the per-row Python work to one hash call and one slice).
+    """
+    keys = np.ascontiguousarray(np.atleast_2d(keys), dtype="<i8")
+    n, k = keys.shape
+    if n == 0:
+        return np.empty(0, dtype=np.uint64)
+    prefix = int(root_seed).to_bytes(8, "little", signed=False)
+    buf = keys.tobytes()
+    row = 8 * k
+    blake2b = hashlib.blake2b
+    from_bytes = int.from_bytes
+    return np.fromiter(
+        (
+            from_bytes(blake2b(prefix + buf[o : o + row], digest_size=8).digest(), "little")
+            for o in range(0, n * row, row)
+        ),
+        dtype=np.uint64,
+        count=n,
+    )
+
+
 def spawn_generator(root_seed: int, *keys: int) -> np.random.Generator:
     """Construct a :class:`numpy.random.Generator` for a keyed stream."""
     return np.random.Generator(np.random.PCG64(derive_seed(root_seed, *keys)))
+
+
+def keyed_uniforms(root_seed: int, *key_cols) -> np.ndarray:
+    """One U(0,1) draw per key tuple, fully batched.
+
+    ``key_cols`` are integer arrays (or scalars, broadcast against the
+    array columns); tuple ``j`` is ``(key_cols[0][j], key_cols[1][j],
+    ...)``.  Element ``j`` is bit-identical to
+    ``spawn_generator(root_seed, *tuple_j).random()`` — the same seed
+    derivation (BLAKE2b) feeds a vectorised replay of numpy's
+    SeedSequence→PCG64 pipeline (:mod:`repro.util.pcg`) instead of one
+    Generator construction per tuple, which is what makes per-entity
+    keyed coin flips affordable on the exposure hot path.
+    """
+    cols = np.broadcast_arrays(*[np.asarray(c, dtype=np.int64) for c in key_cols])
+    keys = np.column_stack([c.ravel() for c in cols])
+    return first_uniforms(derive_seeds(root_seed, keys)).reshape(cols[0].shape)
 
 
 class RngFactory:
@@ -97,23 +150,29 @@ class RngFactory:
         """Per-(day, location) stream used for transmission draws."""
         return self.stream(self.LOCATION, day, location_id)
 
+    def keyed_uniforms(self, *key_cols) -> np.ndarray:
+        """Batched keyed draws below this factory's root seed.
+
+        See :func:`keyed_uniforms`; element ``j`` equals
+        ``self.stream(*tuple_j).random()`` exactly.
+        """
+        return keyed_uniforms(self.root_seed, *key_cols)
+
     def uniforms_for(
         self, prefix: int, day: int, ids: Iterable[int], salt: int = 0
     ) -> np.ndarray:
         """Vector of one U(0,1) draw per id, order-independent.
 
-        Equivalent to drawing ``stream(prefix, day, i, salt).random()``
-        for each id, but batched: used where the sequential reference
-        and the chare-parallel execution must agree on per-entity coin
-        flips while visiting entities in different orders.  Distinct
-        consumers sharing a prefix must use distinct ``salt`` values so
-        their decisions stay independent.
+        Exactly ``stream(prefix, day, i, salt).random()`` for each id,
+        but delegated to the batched :func:`keyed_uniforms` primitive:
+        used where the sequential reference and the chare-parallel
+        execution must agree on per-entity coin flips while visiting
+        entities in different orders.  Distinct consumers sharing a
+        prefix must use distinct ``salt`` values so their decisions
+        stay independent.
         """
-        ids = np.asarray(list(ids), dtype=np.int64)
-        out = np.empty(len(ids), dtype=np.float64)
-        for j, i in enumerate(ids):
-            out[j] = spawn_generator(self.root_seed, prefix, day, int(i), salt).random()
-        return out
+        ids = np.fromiter((int(i) for i in ids), dtype=np.int64)
+        return keyed_uniforms(self.root_seed, prefix, day, ids, salt)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RngFactory(root_seed={self.root_seed})"

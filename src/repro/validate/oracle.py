@@ -24,6 +24,14 @@ compared against a sequential reference run on the *split* graph (the
 split is a preprocessing step; equivalence is claimed per graph, and
 ``tests/partition/test_splitloc.py`` separately pins the split's own
 semantics).
+
+The matrix is also the certification harness for the exposure-kernel
+rewrite: by default the sequential reference runs the ``grouped``
+(reference) kernel while every parallel cell runs the ``flat`` kernel,
+so one green matrix certifies old-vs-new *and* sequential-vs-parallel
+at once.  :func:`run_kernel_differential` additionally compares the two
+kernels head-to-head on the sequential simulator, down to the infection
+minute and event order.
 """
 
 from __future__ import annotations
@@ -45,9 +53,11 @@ __all__ = [
     "Divergence",
     "CellResult",
     "OracleReport",
+    "KernelDiffReport",
     "sequential_reference",
     "run_cell",
     "run_matrix",
+    "run_kernel_differential",
 ]
 
 DISTRIBUTIONS = ("rr", "gp", "gp-split")
@@ -142,16 +152,18 @@ class OracleReport:
 # ----------------------------------------------------------------------
 def sequential_reference(
     scenario: Scenario,
+    kernel: str | None = None,
 ) -> tuple[SimulationResult, dict[int, set], np.ndarray, np.ndarray]:
     """Run the sequential simulator, also logging per-day infection events.
 
     Returns ``(result, events_by_day, health_state, days_remaining)``
     where ``events_by_day[d]`` is the set of ``(person, location)``
-    transmissions of day ``d``.
+    transmissions of day ``d``.  ``kernel`` selects the exposure kernel
+    (None = the module default).
     """
     from repro.core.metrics import EpiCurve, state_histogram
 
-    sim = SequentialSimulator(scenario)
+    sim = SequentialSimulator(scenario, kernel=kernel)
     curve = EpiCurve()
     result = SimulationResult(curve=curve, final_histogram={})
     events: dict[int, set] = {}
@@ -267,6 +279,7 @@ def run_cell(
     sync: str,
     delivery: str,
     aggregation_bytes: int = 8 * 1024,
+    kernel: str | None = None,
 ) -> ParallelEpiSimdemics:
     """Run one matrix cell with invariant checks on; return the sim."""
     dist = Distribution.from_partition(partition, Machine(machine))
@@ -277,6 +290,7 @@ def run_cell(
         sync=sync,
         delivery=delivery,
         aggregation_bytes=aggregation_bytes,
+        kernel=kernel,
         validate=True,
     )
     sim.run()
@@ -294,12 +308,17 @@ def run_matrix(
     distributions: tuple[str, ...] = DISTRIBUTIONS,
     sync_modes: tuple[str, ...] = SYNC_MODES,
     deliveries: tuple[str, ...] = DELIVERY_MODES,
+    kernel: str | None = "flat",
+    reference_kernel: str | None = "grouped",
     progress=None,
 ) -> OracleReport:
     """Run the full differential matrix on ``graph``.
 
-    ``progress`` is an optional callable receiving one line per finished
-    cell (the CLI passes ``print``).
+    ``kernel`` is the exposure kernel of every parallel cell and
+    ``reference_kernel`` the sequential side's; the deliberately
+    asymmetric defaults make each cell a cross-kernel *and*
+    cross-execution differential.  ``progress`` is an optional callable
+    receiving one line per finished cell (the CLI passes ``print``).
     """
     from repro.core.transmission import TransmissionModel
     from repro.partition import split_heavy_locations
@@ -327,7 +346,7 @@ def run_matrix(
                 if key == "split"
                 else graph
             )
-            variants[key] = (g, sequential_reference(scenario_for(g)))
+            variants[key] = (g, sequential_reference(scenario_for(g), reference_kernel))
         return variants[key]
 
     cells: list[CellResult] = []
@@ -341,7 +360,8 @@ def run_matrix(
         for sync in sync_modes:
             for delivery in deliveries:
                 sim = run_cell(
-                    scenario_for(g), machine, partitions[distribution], sync, delivery
+                    scenario_for(g), machine, partitions[distribution], sync, delivery,
+                    kernel=kernel,
                 )
                 par_curve = sim.curve
                 divergence = (
@@ -365,3 +385,130 @@ def run_matrix(
                     status = "exact" if cell.equal else "DIVERGED"
                     progress(f"{cell.label:<24} {status}  ({cell.checks_passed} checks)")
     return OracleReport(cells=cells, n_persons=graph.n_persons, n_days=n_days)
+
+
+# ----------------------------------------------------------------------
+# kernel-vs-kernel differential (old vs new exposure kernel)
+# ----------------------------------------------------------------------
+@dataclass
+class KernelDiffReport:
+    """Head-to-head comparison of two exposure kernels."""
+
+    kernel_a: str
+    kernel_b: str
+    n_persons: int
+    n_days: int
+    divergence: Divergence | None = None
+
+    @property
+    def equal(self) -> bool:
+        return self.divergence is None
+
+    def format(self) -> str:
+        head = (
+            f"kernel differential: {self.kernel_a} vs {self.kernel_b}, "
+            f"{self.n_persons} persons × {self.n_days} days"
+        )
+        if self.equal:
+            return head + "\n  kernels bit-identical (events, minutes, curve, final state)"
+        return head + "\n  " + self.divergence.format().replace("\n", "\n  ")
+
+
+def run_kernel_differential(
+    graph,
+    *,
+    n_days: int = 8,
+    seed: int = 0,
+    initial_infections: int = 10,
+    transmissibility: float = 2.0e-4,
+    kernel_a: str = "grouped",
+    kernel_b: str = "flat",
+) -> KernelDiffReport:
+    """Run the sequential simulator once per kernel and compare exactly.
+
+    Stricter than the matrix's event-set comparison: per-day infection
+    events must match as ordered ``(person, location, minute)`` lists —
+    the kernels promise bit-for-bit equivalence, including the order
+    infect messages are emitted in — and the epidemic curve, final PTTS
+    state and dwell timers must be identical.
+    """
+    from repro.core.transmission import TransmissionModel
+
+    def scenario() -> Scenario:
+        return Scenario(
+            graph=graph,
+            n_days=n_days,
+            seed=seed,
+            initial_infections=initial_infections,
+            transmission=TransmissionModel(transmissibility),
+        )
+
+    report = KernelDiffReport(
+        kernel_a=kernel_a, kernel_b=kernel_b,
+        n_persons=graph.n_persons, n_days=n_days,
+    )
+    sc_a, sc_b = scenario(), scenario()
+    sim_a = SequentialSimulator(sc_a, kernel=kernel_a)
+    sim_b = SequentialSimulator(sc_b, kernel=kernel_b)
+    factory = sc_a.rng_factory
+    for day in range(n_days):
+        day_a, phase_a = sim_a.step_day()
+        day_b, phase_b = sim_b.step_day()
+        ev_a = [(e.person, e.location, e.minute) for e in phase_a.infections]
+        ev_b = [(e.person, e.location, e.minute) for e in phase_b.infections]
+        if ev_a != ev_b:
+            only_a = sorted(set(ev_a) - set(ev_b))
+            only_b = sorted(set(ev_b) - set(ev_a))
+            if only_a or only_b:
+                person, location, _minute = (only_a or only_b)[0]
+                detail = (
+                    f"{len(only_a)} event(s) only in {kernel_a}, "
+                    f"{len(only_b)} only in {kernel_b}"
+                )
+            else:
+                person, location, _minute = ev_a[0]
+                detail = "same events, different emission order"
+            report.divergence = Divergence(
+                kind="events", day=day, location=location, person=person,
+                rng_key=factory.seed(RngFactory.LOCATION, day, location, person),
+                detail=detail,
+            )
+            return report
+        if (day_a.new_infections, day_a.prevalence) != (
+            day_b.new_infections, day_b.prevalence
+        ):
+            report.divergence = Divergence(
+                kind="curve", day=day,
+                detail=(
+                    f"{kernel_a}: {day_a.new_infections} new / prevalence "
+                    f"{day_a.prevalence!r}; {kernel_b}: {day_b.new_infections} "
+                    f"new / prevalence {day_b.prevalence!r}"
+                ),
+            )
+            return report
+    report.divergence = _diff_final_state_arrays(
+        sim_a.health_state, sim_a.days_remaining,
+        sim_b.health_state, sim_b.days_remaining,
+    )
+    return report
+
+
+def _diff_final_state_arrays(
+    state_a: np.ndarray,
+    remaining_a: np.ndarray,
+    state_b: np.ndarray,
+    remaining_b: np.ndarray,
+) -> Divergence | None:
+    if not np.array_equal(state_a, state_b):
+        p = int(np.flatnonzero(state_a != state_b)[0])
+        return Divergence(
+            kind="final-state", person=p,
+            detail=f"final PTTS state index differs: {int(state_a[p])} vs {int(state_b[p])}",
+        )
+    if not np.array_equal(remaining_a, remaining_b):
+        p = int(np.flatnonzero(remaining_a != remaining_b)[0])
+        return Divergence(
+            kind="final-state", person=p,
+            detail=f"dwell timer differs: {int(remaining_a[p])} vs {int(remaining_b[p])}",
+        )
+    return None

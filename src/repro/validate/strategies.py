@@ -99,6 +99,20 @@ def visit_graphs(
                 end = int(rng.integers(start + 1, MINUTES_PER_DAY + 1))
                 visits.append((person, loc, subloc, start, end))
 
+    if profile == "heavy-tail" and visits:
+        # The bias makes location 0 the hottest only in expectation; a
+        # small draw can leave another location with more visits.  Swap
+        # labels so the profile's contract — location 0 carries the
+        # plurality — holds on every example.
+        counts = np.bincount([v[1] for v in visits], minlength=n_locations)
+        hot = int(counts.argmax())
+        if hot != 0:
+            relabel = {0: hot, hot: 0}
+            visits = [
+                (p, relabel.get(loc, loc), s, a, b) for p, loc, s, a, b in visits
+            ]
+            n_sublocs[[0, hot]] = n_sublocs[[hot, 0]]
+
     return _build_graph(
         f"hyp-{profile}-{rng_seed}", n_persons, n_locations, visits, n_sublocs, rng
     )

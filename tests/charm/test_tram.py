@@ -43,6 +43,22 @@ class TestGeometry:
                     hop = chan.next_hop(hop, dst)
                 assert hop == dst
 
+    @pytest.mark.parametrize("n_pes", [5, 7, 12])
+    def test_ragged_grids_deliver_in_two_mesh_hops(self, n_pes):
+        """The docstring's claim, on grids whose last row is ragged:
+        every (src, dst) pair resolves in at most two next_hop steps."""
+        chan = TramChannel("t", n_pes=n_pes)
+        for src in range(n_pes):
+            for dst in range(n_pes):
+                hop1 = chan.next_hop(src, dst)
+                assert 0 <= hop1 < n_pes, f"{src}->{dst} routed off-grid"
+                hops = 0 if src == dst else 1
+                if hop1 != dst:
+                    hop2 = chan.next_hop(hop1, dst)
+                    hops = 2
+                    assert hop2 == dst, f"{src}->{dst} needs >2 hops"
+                assert hops <= 2
+
     def test_invalid_params(self):
         with pytest.raises(ValueError):
             TramChannel("t", 0)

@@ -1,0 +1,61 @@
+"""Static dead-code guard: no statement after a terminating statement.
+
+A duplicated ``raise`` once slipped into ``CostAccumulator.add``
+unnoticed because unreachable code neither runs nor fails.  This test
+walks every module under ``src/repro`` and rejects any statement that
+follows ``return`` / ``raise`` / ``break`` / ``continue`` in the same
+block — the same class of defect ruff's unreachable-code rule flags in
+CI, but enforced here with the stdlib so it runs in tier-1 without any
+extra tooling.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+TERMINATORS = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+
+#: statement fields that hold a straight-line block of statements
+_BLOCK_FIELDS = ("body", "orelse", "finalbody")
+
+
+def _unreachable_in(tree: ast.AST):
+    for node in ast.walk(tree):
+        for fld in _BLOCK_FIELDS:
+            block = getattr(node, fld, None)
+            if not isinstance(block, list):
+                continue
+            for stmt, nxt in zip(block, block[1:]):
+                if isinstance(stmt, TERMINATORS):
+                    yield nxt
+
+
+def _modules():
+    return sorted(SRC.rglob("*.py"))
+
+
+@pytest.mark.parametrize("path", _modules(), ids=lambda p: str(p.relative_to(SRC)))
+def test_no_unreachable_statements(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    dead = [
+        f"{path.relative_to(SRC)}:{stmt.lineno}: unreachable "
+        f"{type(stmt).__name__} after a terminating statement"
+        for stmt in _unreachable_in(tree)
+    ]
+    assert not dead, "\n".join(dead)
+
+
+def test_guard_catches_seeded_duplicate_raise():
+    """The guard itself must flag the original defect's shape."""
+    snippet = (
+        "def add(self, category, amount):\n"
+        "    if amount < 0:\n"
+        "        raise ValueError('negative')\n"
+        "        raise ValueError('negative')\n"
+        "    self.buckets[category] = amount\n"
+    )
+    dead = list(_unreachable_in(ast.parse(snippet)))
+    assert len(dead) == 1 and isinstance(dead[0], ast.Raise)
