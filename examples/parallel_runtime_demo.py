@@ -7,11 +7,16 @@ chare-parallel on a simulated 4-node SMP machine — and shows that
 1. the epidemics are *identical* (keyed randomness makes data
    distribution a pure performance choice), and
 2. the runtime reports virtual-time phase breakdowns per day, message
-   counts by tier, and the completion-detection protocol's waves.
+   counts by tier, and the completion-detection protocol's waves, and
+3. running under an observer (`repro.observe`) yields the
+   Projections-style per-PE timeline and utilisation views the paper
+   used to find its bottlenecks (Figures 9-11) — tracing costs no
+   random numbers, so the curves stay identical.
 
 Run:  python examples/parallel_runtime_demo.py
 """
 
+from repro import observe
 from repro.charm.machine import Machine, MachineConfig
 from repro.core import Scenario, SequentialSimulator
 from repro.core.parallel import Distribution, ParallelEpiSimdemics
@@ -34,8 +39,11 @@ def main() -> None:
 
     seq = SequentialSimulator(scenario()).run()
 
+    # Trace the parallel run: ParallelEpiSimdemics auto-attaches a
+    # runtime tracer whenever an observer is active.
     dist = Distribution.from_partition(partition_bipartite(graph, m.n_pes), m)
-    par = ParallelEpiSimdemics(scenario(), machine, dist).run()
+    with observe.observing() as obs:
+        par = ParallelEpiSimdemics(scenario(), machine, dist).run()
 
     same = par.result.curve == seq.curve
     print(f"epidemic identical to sequential reference: {same}")
@@ -58,6 +66,16 @@ def main() -> None:
     print("\nmessages by tier:", stats["messages"])
     print("bytes by tier:   ", stats["bytes"])
     print(f"scheduler events: {stats['events']}")
+
+    # The Projections views (paper Figures 9-11) from the same run.
+    print("\nper-PE utilisation (virtual time):")
+    print(observe.utilization_table(obs))
+    print("\nper-PE timeline (first 8 PEs):")
+    print(observe.pe_timeline(obs, width=64, pes=list(range(min(8, obs.n_pes)))))
+    print("\nentry-method profile:")
+    print(observe.method_profile_table(obs, top=6))
+    print("\nwrite a Chrome trace with observe.write_chrome_trace(obs, 'trace.json')"
+          "\nor run the packaged driver:  python -m repro profile --preset small")
 
 
 if __name__ == "__main__":

@@ -17,10 +17,23 @@ Quick start::
     result = SequentialSimulator(Scenario(graph=graph, n_days=90)).run()
     print(result.curve.attack_rate(graph.n_persons))
 
-See README.md for the architecture tour and DESIGN.md for the full
-paper→module mapping.
+See README.md for the architecture tour, docs/architecture.md for the
+package map and dataflow, docs/paper-map.md for the figure-by-figure
+paper→module mapping, and docs/profiling.md for the observability
+layer (``repro.observe`` / ``python -m repro profile``).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["analysis", "charm", "core", "loadmodel", "partition", "synthpop", "util", "__version__"]
+__all__ = [
+    "analysis",
+    "charm",
+    "core",
+    "loadmodel",
+    "observe",
+    "partition",
+    "synthpop",
+    "util",
+    "validate",
+    "__version__",
+]

@@ -39,6 +39,7 @@ from repro.charm.machine import Machine, MachineConfig
 from repro.charm.messages import CONTROL_BYTES, Message
 from repro.charm.network import NetworkModel
 from repro.charm.reduction import ReductionRound, ReductionSpec, ReductionTree
+from repro import observe
 from repro.util.timing import CostAccumulator
 
 __all__ = ["RuntimeSimulator"]
@@ -484,25 +485,32 @@ class RuntimeSimulator:
     # ------------------------------------------------------------------
     def run(self, max_events: int | None = None) -> float:
         """Process events until the heap drains; return final virtual time."""
-        processed = 0
-        while self._heap:
-            t, _, kind, data = heapq.heappop(self._heap)
-            if kind == _EXEC:
-                msg, dst_cpu = data
-                self._execute(t, msg, dst_cpu)
-            elif kind == _COMM_SEND:
-                self._comm_send(t, *data)
-            else:
-                self._comm_recv(t, *data)
-            processed += 1
-            if max_events is not None and processed >= max_events:
-                raise RuntimeError(
-                    f"runtime exceeded {max_events} events — likely a protocol livelock"
-                )
-        self.current_time = float(self.pe_clock.max()) if self.pe_clock.size else 0.0
-        if self.validate:
-            self._check_drained()
-        return self.current_time
+        obs_span = observe.span("charm.runtime.run", pes=self.machine.n_pes)
+        with obs_span:
+            processed = 0
+            while self._heap:
+                t, _, kind, data = heapq.heappop(self._heap)
+                if kind == _EXEC:
+                    msg, dst_cpu = data
+                    self._execute(t, msg, dst_cpu)
+                elif kind == _COMM_SEND:
+                    self._comm_send(t, *data)
+                else:
+                    self._comm_recv(t, *data)
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    raise RuntimeError(
+                        f"runtime exceeded {max_events} events — likely a protocol livelock"
+                    )
+            self.current_time = float(self.pe_clock.max()) if self.pe_clock.size else 0.0
+            if self.validate:
+                self._check_drained()
+            obs_span.set(
+                events=processed,
+                virtual_time=self.current_time,
+                messages=dict(self.msg_counter),
+            )
+            return self.current_time
 
     def _check_drained(self) -> None:
         """At quiescence no aggregation channel may still buffer records —

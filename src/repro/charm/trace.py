@@ -7,6 +7,13 @@ provides the equivalent for our simulated runtime: attach a
 utilisation, a method-level profile and a text timeline — the views a
 performance engineer needs to see *why* a configuration is slow
 (straggling PE, comm-thread saturation, sync gaps).
+
+This module is the runtime-side feed of the wider :mod:`repro.observe`
+subsystem: :meth:`repro.observe.Observer.ingest_tracer` absorbs a
+tracer's events as per-PE virtual spans (Chrome-trace exportable), and
+:class:`~repro.core.parallel.ParallelEpiSimdemics` attaches a tracer
+automatically whenever an observer is installed.  The timeline
+rendering is shared with :func:`repro.observe.ascii_timeline`.
 """
 
 from __future__ import annotations
@@ -23,7 +30,11 @@ __all__ = ["TraceEvent", "Tracer", "attach_tracer"]
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One entry-method execution."""
+    """One entry-method execution.
+
+    >>> TraceEvent(pe=0, start=0.0, end=2.5, array="lm", method="recv_visits").duration
+    2.5
+    """
 
     pe: int
     start: float
@@ -38,7 +49,16 @@ class TraceEvent:
 
 @dataclass
 class Tracer:
-    """Collects :class:`TraceEvent` records from a runtime."""
+    """Collects :class:`TraceEvent` records from a runtime.
+
+    >>> t = Tracer(_n_pes=2)
+    >>> t.record(0, 0.0, 1.0, "lm", "location_phase")
+    >>> t.record(1, 0.0, 0.5, "pm", "person_phase")
+    >>> t.utilization().tolist()
+    [1.0, 0.5]
+    >>> t.critical_pe()
+    0
+    """
 
     events: list[TraceEvent] = field(default_factory=list)
     _n_pes: int = 0
@@ -88,35 +108,22 @@ class Tracer:
         """ASCII utilisation timeline, one row per PE.
 
         Each column is a time bucket; the glyph encodes busy fraction
-        (`` `` <25%, ``-`` <50%, ``+`` <75%, ``#`` ≥75%).
+        (`` `` <25%, ``-`` <50%, ``+`` <75%, ``#`` ≥75%).  Rendering is
+        shared with :func:`repro.observe.ascii_timeline`.
+
+        >>> t = Tracer(_n_pes=1)
+        >>> t.record(0, 0.0, 1.0, "lm", "location_phase")
+        >>> t.timeline(width=4)
+        'pe   0 |####|'
         """
-        if not self.events:
-            return "(empty trace)"
-        t0 = min(e.start for e in self.events)
-        t1 = max(e.end for e in self.events)
-        if t1 <= t0:
-            return "(zero-length trace)"
-        pes = pes if pes is not None else list(range(self._n_pes))
-        bucket = (t1 - t0) / width
-        rows = []
-        for pe in pes:
-            busy = np.zeros(width)
-            for e in self.events:
-                if e.pe != pe:
-                    continue
-                b0 = int((e.start - t0) / bucket)
-                b1 = min(int((e.end - t0) / bucket), width - 1)
-                for b in range(b0, b1 + 1):
-                    lo = t0 + b * bucket
-                    hi = lo + bucket
-                    busy[b] += max(0.0, min(e.end, hi) - max(e.start, lo))
-            frac = busy / bucket
-            glyphs = "".join(
-                "#" if f >= 0.75 else "+" if f >= 0.5 else "-" if f >= 0.25 else " "
-                for f in frac
-            )
-            rows.append(f"pe{pe:>4} |{glyphs}|")
-        return "\n".join(rows)
+        from repro.observe.export import ascii_timeline
+
+        return ascii_timeline(
+            [(e.pe, e.start, e.end) for e in self.events],
+            self._n_pes,
+            width=width,
+            rows=pes,
+        )
 
     def profile_table(self, top: int = 12) -> str:
         """Formatted method profile, heaviest first."""
@@ -130,7 +137,22 @@ class Tracer:
 
 
 def attach_tracer(runtime: RuntimeSimulator) -> Tracer:
-    """Instrument a runtime; returns the tracer (call before ``run``)."""
+    """Instrument a runtime; returns the tracer (call before ``run``).
+
+    >>> import numpy as np
+    >>> from repro.charm import Chare, MachineConfig, RuntimeSimulator
+    >>> class Ping(Chare):
+    ...     def ping(self, amount):
+    ...         self.charge(amount)
+    >>> rt = RuntimeSimulator(MachineConfig(n_nodes=1, cores_per_node=2, smp=False))
+    >>> _ = rt.create_array("ping", lambda i: Ping(), np.array([0, 1]))
+    >>> tracer = attach_tracer(rt)
+    >>> for i in range(2):
+    ...     rt.inject("ping", i, "ping", 1e-6)
+    >>> _ = rt.run()
+    >>> sorted((e.pe, e.array, e.method) for e in tracer.events)
+    [(0, 'ping', 'ping'), (1, 'ping', 'ping')]
+    """
     tracer = Tracer(_n_pes=runtime.machine.n_pes)
     original = runtime._execute
 

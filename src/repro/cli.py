@@ -8,6 +8,7 @@ Commands
 ``partition``  partition a population and report quality metrics
 ``scale``      analytic strong-scaling sweep (Figure-13 style)
 ``validate``   differential sequential↔parallel oracle + golden traces
+``profile``    trace the full pipeline, emit Chrome trace + timelines
 
 Every command is a thin shell over the library API so scripted studies
 can start from the shell and graduate to Python.
@@ -86,6 +87,19 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--diff-kernels", action="store_true",
                    help="also run the grouped-vs-flat kernel differential "
                         "(ordered events, minutes, curve, final state)")
+
+    f = sub.add_parser(
+        "profile",
+        help="run the full pipeline under the observer; write Projections-style reports",
+    )
+    f.add_argument("--preset", choices=["tiny", "small", "medium"], default="small",
+                   help="scenario size (persons/days/machine; see repro.observe.PRESETS)")
+    f.add_argument("--seed", type=int, default=0)
+    f.add_argument("--days", type=int, default=None,
+                   help="override the preset's day count")
+    f.add_argument("--out", default="profile-out",
+                   help="directory for trace.json / timeline.txt / report.txt "
+                        "('-' = print the report only, write nothing)")
     return p
 
 
@@ -270,6 +284,22 @@ def _cmd_validate(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_profile(args) -> int:
+    from repro.observe import run_profile
+
+    out_dir = None if args.out == "-" else args.out
+    report = run_profile(
+        preset=args.preset, seed=args.seed, days=args.days, out_dir=out_dir
+    )
+    print(report.summary())
+    if report.paths:
+        print()
+        for name, path in report.paths.items():
+            print(f"wrote {name:<9} {path}")
+        print("open trace.json in https://ui.perfetto.dev or chrome://tracing")
+    return 0 if report.curves_identical else 1
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
@@ -277,6 +307,7 @@ _COMMANDS = {
     "partition": _cmd_partition,
     "scale": _cmd_scale,
     "validate": _cmd_validate,
+    "profile": _cmd_profile,
 }
 
 

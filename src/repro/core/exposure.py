@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import observe
 from repro.core.des import blocked_pairwise_exposures, pairwise_exposures
 from repro.core.disease import DiseaseModel
 from repro.core.transmission import TransmissionModel
@@ -115,6 +116,32 @@ def compute_infections(
     infection — distributionally identical to per-pair Bernoulli trials
     and, crucially, order-independent.
     """
+    obs_span = observe.span(
+        "exposure.compute",
+        day=day,
+        kernel=DEFAULT_KERNEL if kernel is None else kernel,
+        visits=int(visit_rows.size),
+    )
+    with obs_span:
+        result = _compute_infections(
+            visit_rows, graph, health_state, disease, transmission, day,
+            rng_factory, collect_stats, kernel,
+        )
+        obs_span.set(infections=len(result.infections))
+        return result
+
+
+def _compute_infections(
+    visit_rows: np.ndarray,
+    graph,
+    health_state: np.ndarray,
+    disease: DiseaseModel,
+    transmission: TransmissionModel,
+    day: int,
+    rng_factory: RngFactory,
+    collect_stats: bool,
+    kernel: str | None,
+) -> LocationPhaseResult:
     kernel = DEFAULT_KERNEL if kernel is None else kernel
     if kernel not in KERNELS:
         raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import observe
 from repro.charm.chare import Chare
 from repro.charm.completion import CompletionDetector, QuiescenceDetector
 from repro.charm.loadbalance import MigrationCostModel, greedy_lb, refine_lb
@@ -613,9 +614,31 @@ class ParallelEpiSimdemics:
         )
 
     def run(self) -> ParallelResult:
-        """Run all days; return epidemic output plus virtual timing."""
-        self.start()
-        self.runtime.run(max_events=200_000_000)
+        """Run all days; return epidemic output plus virtual timing.
+
+        While an :mod:`repro.observe` observer is installed, the runtime
+        is additionally traced per PE (via
+        :func:`repro.charm.trace.attach_tracer`) and the entry-method
+        executions are ingested as virtual spans — the Projections-style
+        per-PE timeline view.  Tracing draws no random numbers, so the
+        epidemic is bit-identical with or without it.
+        """
+        obs = observe.active()
+        tracer = None
+        if obs is not None:
+            from repro.charm.trace import attach_tracer
+
+            tracer = attach_tracer(self.runtime)
+        with observe.span(
+            "parallel.run",
+            days=self.scenario.n_days,
+            pes=self.runtime.machine.n_pes,
+            method=self.distribution.method,
+        ):
+            self.start()
+            self.runtime.run(max_events=200_000_000)
+        if tracer is not None:
+            obs.ingest_tracer(tracer)
         return self.collect()
 
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import observe
 from repro.core.disease import UNTREATED
 from repro.core.exposure import LocationPhaseResult, compute_infections
 from repro.core.interventions import DayContext
@@ -123,6 +124,10 @@ class SequentialSimulator:
     # ------------------------------------------------------------------
     def step_day(self) -> tuple[DayResult, "LocationPhaseResult"]:
         """Execute one simulated day; return its result and phase detail."""
+        with observe.span("sim.day", day=self.day):
+            return self._step_day()
+
+    def _step_day(self) -> tuple[DayResult, "LocationPhaseResult"]:
         sc = self.scenario
         g = sc.graph
         d = sc.disease
@@ -191,14 +196,15 @@ class SequentialSimulator:
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Run all scenario days; return the aggregated result."""
-        curve = EpiCurve()
-        result = SimulationResult(curve=curve, final_histogram={})
-        for _ in range(self.scenario.n_days):
-            day_result, phase = self.step_day()
-            result.days.append(day_result)
-            curve.record_day(day_result.new_infections, day_result.prevalence)
-            if self.collect_location_stats:
-                result.location_events.update(phase.events)
-                result.location_interactions.update(phase.interactions)
-        result.final_histogram = state_histogram(self.health_state, self.scenario.disease)
-        return result
+        with observe.span("sequential.run", days=self.scenario.n_days):
+            curve = EpiCurve()
+            result = SimulationResult(curve=curve, final_histogram={})
+            for _ in range(self.scenario.n_days):
+                day_result, phase = self.step_day()
+                result.days.append(day_result)
+                curve.record_day(day_result.new_infections, day_result.prevalence)
+                if self.collect_location_stats:
+                    result.location_events.update(phase.events)
+                    result.location_interactions.update(phase.interactions)
+            result.final_histogram = state_histogram(self.health_state, self.scenario.disease)
+            return result

@@ -1,0 +1,217 @@
+"""End-to-end profiling driver behind ``repro profile``.
+
+Runs one scenario through the whole pipeline — synthesis → splitLoc →
+graph partitioning → sequential reference → chare-parallel runtime —
+under an :class:`~repro.observe.Observer`, then packages the reports:
+a Chrome trace (wall phases + per-PE virtual timelines), the text
+timeline/utilisation views equivalent to the paper's Figures 9–11, and
+the wall-clock phase breakdown.
+
+The parallel run uses the same graph and seed as the sequential
+reference, so the driver also certifies on every invocation that
+tracing did not perturb the epidemic (``curves_identical``) — tracing
+draws no random numbers, and the regression test
+``tests/observe/test_rng_unperturbed.py`` pins this bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.observe.export import (
+    method_profile_table,
+    pe_timeline,
+    phase_breakdown,
+    phase_table,
+    utilization_table,
+    write_chrome_trace,
+)
+from repro.observe.recorder import Observer, observing
+
+__all__ = ["ProfilePreset", "PRESETS", "ProfileReport", "run_profile"]
+
+
+@dataclass(frozen=True)
+class ProfilePreset:
+    """Shape of one profiling scenario.
+
+    >>> PRESETS["tiny"].n_days
+    2
+    """
+
+    n_persons: int
+    n_days: int
+    n_nodes: int
+    cores_per_node: int
+    processes_per_node: int
+    initial_infections: int = 5
+
+    def machine(self):
+        """The simulated SMP machine for this preset."""
+        from repro.charm.machine import MachineConfig
+
+        return MachineConfig(
+            n_nodes=self.n_nodes,
+            cores_per_node=self.cores_per_node,
+            smp=True,
+            processes_per_node=self.processes_per_node,
+        )
+
+
+#: Built-in scenario sizes for ``repro profile --preset``.
+#:
+#: >>> sorted(PRESETS)
+#: ['medium', 'small', 'tiny']
+PRESETS: dict[str, ProfilePreset] = {
+    "tiny": ProfilePreset(n_persons=120, n_days=2, n_nodes=1,
+                          cores_per_node=4, processes_per_node=1),
+    "small": ProfilePreset(n_persons=2000, n_days=8, n_nodes=2,
+                           cores_per_node=4, processes_per_node=1),
+    "medium": ProfilePreset(n_persons=20000, n_days=15, n_nodes=4,
+                            cores_per_node=8, processes_per_node=2),
+}
+
+
+@dataclass
+class ProfileReport:
+    """Everything one profiled run produced.
+
+    >>> from repro.observe import Observer
+    >>> obs = Observer(epoch=0.0)
+    >>> _ = obs.record_span("synthpop.generate", 0.0, 0.2)
+    >>> rep = ProfileReport(observer=obs, preset="manual", curves_identical=True)
+    >>> rep.phase_totals["synthpop.generate"]
+    0.2
+    """
+
+    observer: Observer
+    preset: str
+    curves_identical: bool
+    n_persons: int = 0
+    n_days: int = 0
+    n_pes: int = 0
+    #: file paths written by :meth:`write` (name -> path)
+    paths: dict = field(default_factory=dict)
+
+    @property
+    def phase_totals(self) -> dict[str, float]:
+        """Inclusive wall seconds per span name."""
+        return {name: rec["incl"] for name, rec in phase_breakdown(self.observer).items()}
+
+    def summary(self) -> str:
+        """The full text report (phase table, utilisation, timeline)."""
+        obs = self.observer
+        lines = [
+            f"== repro profile: preset {self.preset!r} — {self.n_persons} persons, "
+            f"{self.n_days} days, {self.n_pes} PEs ==",
+            f"epi curve identical to untraced semantics: {self.curves_identical}",
+            "",
+            "-- wall-clock phase breakdown --",
+            phase_table(obs),
+        ]
+        if obs.virtual_spans:
+            lines += [
+                "",
+                "-- per-PE utilisation (virtual time) --",
+                utilization_table(obs),
+                "",
+                "-- per-PE timeline (virtual time) --",
+                pe_timeline(obs),
+                "",
+                "-- entry-method profile (virtual time) --",
+                method_profile_table(obs),
+            ]
+        if obs.counters:
+            lines += ["", "-- counters --"]
+            for name in sorted(obs.counters):
+                lines.append(f"{name:<34} {obs.counters[name]:>14.0f}")
+        return "\n".join(lines)
+
+    def write(self, out_dir) -> dict:
+        """Write ``trace.json``, ``timeline.txt`` and ``report.txt``.
+
+        Returns the ``{name: path}`` mapping (also kept in
+        :attr:`paths`).  The trace JSON loads in ``chrome://tracing``
+        and Perfetto.
+        """
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        trace = out / "trace.json"
+        write_chrome_trace(self.observer, trace)
+        timeline = out / "timeline.txt"
+        timeline.write_text(pe_timeline(self.observer) + "\n")
+        report = out / "report.txt"
+        report.write_text(self.summary() + "\n")
+        self.paths = {"trace": str(trace), "timeline": str(timeline), "report": str(report)}
+        return self.paths
+
+
+def run_profile(
+    preset: str = "small",
+    seed: int = 0,
+    days: int | None = None,
+    out_dir=None,
+    observer: Observer | None = None,
+) -> ProfileReport:
+    """Profile the full pipeline at the given preset size.
+
+    Synthesises a population, splits heavy locations, partitions with
+    the multilevel partitioner, then runs the scenario through both the
+    sequential reference and the chare-parallel runtime (with per-PE
+    tracing), all under one observer.  Returns the
+    :class:`ProfileReport`; pass ``out_dir`` to also write the Chrome
+    trace and text reports there.
+
+    >>> rep = run_profile("tiny", out_dir=None)
+    >>> rep.curves_identical
+    True
+    >>> "synthpop.generate" in rep.phase_totals
+    True
+    >>> rep.observer.n_pes > 0
+    True
+    """
+    from repro.charm.machine import Machine
+    from repro.core.parallel import Distribution, ParallelEpiSimdemics
+    from repro.core.scenario import Scenario
+    from repro.core.simulator import SequentialSimulator
+    from repro.partition.metis import partition_bipartite
+    from repro.partition.splitloc import split_heavy_locations
+    from repro.synthpop.generator import PopulationConfig, generate_population
+
+    if preset not in PRESETS:
+        raise ValueError(f"unknown preset {preset!r}; choose from {sorted(PRESETS)}")
+    cfg = PRESETS[preset]
+    n_days = cfg.n_days if days is None else days
+    machine = cfg.machine()
+    n_pes = Machine(machine).n_pes
+
+    with observing(observer) as obs:
+        graph = generate_population(
+            PopulationConfig(n_persons=cfg.n_persons), seed, name=f"profile-{preset}"
+        )
+        split = split_heavy_locations(graph, max_partitions=n_pes)
+        g = split.graph
+        bp = partition_bipartite(g, n_pes)
+
+        def scenario() -> Scenario:
+            return Scenario(
+                graph=g, n_days=n_days, seed=seed,
+                initial_infections=cfg.initial_infections,
+            )
+
+        seq = SequentialSimulator(scenario()).run()
+        dist = Distribution.from_partition(bp, Machine(machine))
+        par = ParallelEpiSimdemics(scenario(), machine, dist).run()
+
+    report = ProfileReport(
+        observer=obs,
+        preset=preset,
+        curves_identical=par.result.curve == seq.curve,
+        n_persons=g.n_persons,
+        n_days=n_days,
+        n_pes=n_pes,
+    )
+    if out_dir is not None:
+        report.write(out_dir)
+    return report

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import observe
 from repro.loadmodel.workload import WorkloadModel
 from repro.partition.coarsen import coarsen_graph
 from repro.partition.csr import CSRGraph, bipartite_to_csr
@@ -50,6 +51,7 @@ class MultilevelPartitioner:
         self._bisection_counter = 0
 
     # ------------------------------------------------------------------
+    @observe.traced("partition.bisect")
     def bisect(self, graph: CSRGraph, target_frac: float) -> np.ndarray:
         """Multilevel bisection: part 0 gets ``target_frac`` of each constraint."""
         opts = self.options
@@ -108,15 +110,18 @@ class MultilevelPartitioner:
         workload: WorkloadModel | None = None,
     ) -> BipartitePartition:
         """Partition a person–location graph into ``k`` parts."""
-        csr = bipartite_to_csr(graph, workload)
-        part = self.kway(csr, k)
-        n = graph.n_persons
-        return BipartitePartition(
-            person_part=part[:n].copy(),
-            location_part=part[n:].copy(),
-            k=k,
-            method="GP",
-        )
+        with observe.span(
+            "partition.kway", k=k, persons=graph.n_persons, locations=graph.n_locations
+        ):
+            csr = bipartite_to_csr(graph, workload)
+            part = self.kway(csr, k)
+            n = graph.n_persons
+            return BipartitePartition(
+                person_part=part[:n].copy(),
+                location_part=part[n:].copy(),
+                k=k,
+                method="GP",
+            )
 
 
 def _induced_subgraph(graph: CSRGraph, mask: np.ndarray) -> CSRGraph:

@@ -18,6 +18,7 @@ import heapq
 
 import numpy as np
 
+from repro import observe
 from repro.partition.csr import CSRGraph
 
 __all__ = ["fm_refine", "rebalance", "move_gain", "all_gains"]
@@ -67,6 +68,7 @@ def _fits(
     return True
 
 
+@observe.traced("partition.fm_refine")
 def fm_refine(
     graph: CSRGraph,
     part: np.ndarray,

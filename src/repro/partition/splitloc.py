@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import observe
 from repro.synthpop.graph import PersonLocationGraph
 
 __all__ = ["SplitResult", "split_threshold", "sublocation_type_weights", "split_heavy_locations"]
@@ -105,6 +106,7 @@ def split_threshold(graph: PersonLocationGraph, max_partitions: int, slack: floa
     return max(float(w.sum()) / max_partitions, float(tw.max())) * slack
 
 
+@observe.traced("partition.splitloc")
 def split_heavy_locations(
     graph: PersonLocationGraph,
     max_partitions: int | None = None,

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import observe
 from repro.synthpop.graph import LocationType, PersonLocationGraph, MINUTES_PER_DAY
 from repro.synthpop.powerlaw import pareto_attractiveness
 from repro.util.rng import RngFactory
@@ -86,6 +87,7 @@ class PopulationConfig:
             raise ValueError("region_locality must be in [0, 1]")
 
 
+@observe.traced("synthpop.sample_degrees")
 def _sample_person_degrees(rng: np.random.Generator, cfg: PopulationConfig) -> np.ndarray:
     """Visits per person: 2 home visits + negative-binomial activity visits.
 
@@ -104,6 +106,7 @@ def _sample_person_degrees(rng: np.random.Generator, cfg: PopulationConfig) -> n
     return (k + 2).astype(np.int64)
 
 
+@observe.traced("synthpop.sample_ages")
 def _sample_ages(rng: np.random.Generator, n: int) -> np.ndarray:
     """Rough US age pyramid: 0–4 (7%), 5–17 (17%), 18–64 (63%), 65+ (13%)."""
     u = rng.random(n)
@@ -119,6 +122,7 @@ def _sample_ages(rng: np.random.Generator, n: int) -> np.ndarray:
     return age
 
 
+@observe.traced("synthpop.assign_households")
 def _assign_households(
     rng: np.random.Generator, cfg: PopulationConfig
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -169,6 +173,18 @@ def generate_population(
     name:
         Dataset label carried on the resulting graph.
     """
+    obs_span = observe.span("synthpop.generate", persons=cfg.n_persons)
+    with obs_span:
+        graph = _generate_population(cfg, rng_factory, name)
+        obs_span.set(visits=int(graph.n_visits), locations=int(graph.n_locations))
+        return graph
+
+
+def _generate_population(
+    cfg: PopulationConfig,
+    rng_factory: RngFactory | int,
+    name: str,
+) -> PersonLocationGraph:
     if isinstance(rng_factory, (int, np.integer)):
         rng_factory = RngFactory(int(rng_factory))
     rng = rng_factory.stream(RngFactory.SYNTHPOP)

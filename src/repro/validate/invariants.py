@@ -46,7 +46,16 @@ __all__ = ["InvariantViolation", "InvariantChecker"]
 
 
 class InvariantViolation(AssertionError):
-    """A runtime invariant of the parallel execution was broken."""
+    """A runtime invariant of the parallel execution was broken.
+
+    Subclasses ``AssertionError`` so plain test harnesses catch it too:
+
+    >>> try:
+    ...     raise InvariantViolation("day 2: person 3 delivered twice")
+    ... except AssertionError as e:
+    ...     print(e)
+    day 2: person 3 delivered twice
+    """
 
 
 class InvariantChecker:
@@ -60,6 +69,27 @@ class InvariantChecker:
         The scenario's compiled PTTS model.
     distribution:
         The object→chare :class:`~repro.core.parallel.Distribution`.
+
+    Attach one by passing ``validate=True`` to
+    :class:`~repro.core.parallel.ParallelEpiSimdemics`; every check it
+    performs during the run increments :attr:`checks_passed` and any
+    broken invariant raises :class:`InvariantViolation` immediately:
+
+    >>> from repro.charm.machine import Machine, MachineConfig
+    >>> from repro.core import Scenario, TransmissionModel
+    >>> from repro.core.parallel import Distribution, ParallelEpiSimdemics
+    >>> from repro.partition import round_robin_partition
+    >>> from repro.synthpop import PopulationConfig, generate_population
+    >>> g = generate_population(PopulationConfig(n_persons=60), 0)
+    >>> mc = MachineConfig(n_nodes=1, cores_per_node=4, smp=False)
+    >>> m = Machine(mc)
+    >>> dist = Distribution.from_partition(round_robin_partition(g, m.n_pes), m)
+    >>> sc = Scenario(graph=g, n_days=2, seed=0, initial_infections=3,
+    ...               transmission=TransmissionModel(2e-4))
+    >>> sim = ParallelEpiSimdemics(sc, mc, dist, validate=True)
+    >>> _ = sim.run()
+    >>> sim.checker.checks_passed > 0
+    True
     """
 
     def __init__(self, graph, disease, distribution):

@@ -114,7 +114,12 @@ class CellResult:
 
 @dataclass
 class OracleReport:
-    """All cells of one matrix run."""
+    """All cells of one matrix run.
+
+    >>> r = OracleReport(cells=[], n_persons=100, n_days=8)
+    >>> r.all_equal, r.total_checks
+    (True, 0)
+    """
 
     cells: list[CellResult]
     n_persons: int
@@ -319,6 +324,15 @@ def run_matrix(
     asymmetric defaults make each cell a cross-kernel *and*
     cross-execution differential.  ``progress`` is an optional callable
     receiving one line per finished cell (the CLI passes ``print``).
+
+    Restrict the axes to run a subset (here: one cell):
+
+    >>> from repro.synthpop import PopulationConfig, generate_population
+    >>> g = generate_population(PopulationConfig(n_persons=60), 0)
+    >>> report = run_matrix(g, n_days=2, distributions=("rr",),
+    ...                     sync_modes=("cd",), deliveries=("direct",))
+    >>> len(report.cells), report.all_equal
+    (1, True)
     """
     from repro.core.transmission import TransmissionModel
     from repro.partition import split_heavy_locations

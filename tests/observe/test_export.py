@@ -1,0 +1,143 @@
+"""Exporter views pinned against golden files.
+
+The golden observer is built from explicit (deterministic) times —
+wall-clock epochs are nondeterministic, manual records are not.  To
+regenerate after an intentional format change:
+
+    PYTHONPATH=src python tests/observe/test_export.py refresh
+
+then review the diff of ``tests/golden/observe_*``.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import observe
+from repro.observe import (
+    chrome_trace_events,
+    method_profile,
+    method_profile_table,
+    pe_timeline,
+    phase_breakdown,
+    phase_table,
+    utilization,
+    utilization_table,
+    write_chrome_trace,
+)
+
+GOLDEN = Path(__file__).resolve().parent.parent / "golden"
+
+
+def golden_observer() -> observe.Observer:
+    """A small, fully deterministic traced 'run'."""
+    obs = observe.Observer(epoch=0.0)
+    gen = obs.record_span("synthpop.generate", 0.00, 0.30, attrs={"persons": 100})
+    obs.record_span("synthpop.sample_degrees", 0.02, 0.10, parent=gen)
+    kway = obs.record_span("partition.kway", 0.30, 0.90, attrs={"k": 4})
+    obs.record_span("partition.bisect", 0.35, 0.60, parent=kway)
+    obs.record_span("partition.bisect", 0.60, 0.80, parent=kway)
+    run = obs.record_span("sequential.run", 0.90, 1.50)
+    obs.record_span("sim.day", 0.90, 1.20, parent=run, attrs={"day": 0})
+    obs.record_span("sim.day", 1.20, 1.50, parent=run, attrs={"day": 1})
+    for day in range(2):
+        t = day * 0.010
+        for pe in range(3):
+            obs.add_virtual_span(pe, t, t + 0.004, "pm.person_phase")
+            obs.add_virtual_span(pe, t + 0.005, t + 0.005 + 0.001 * (pe + 1),
+                                 "lm.location_phase")
+    obs.record_counter("exposure.infections", 3.0, t=1.0)
+    obs.record_counter("exposure.infections", 2.0, t=1.4)
+    return obs
+
+
+class TestChromeTrace:
+    def test_matches_golden(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(golden_observer(), path)
+        assert json.loads(path.read_text()) == json.loads(
+            (GOLDEN / "observe_chrome.json").read_text()
+        )
+
+    def test_structure(self):
+        events = chrome_trace_events(golden_observer())
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "X", "C"}
+        pids = {e["pid"] for e in events}
+        assert pids == {1, 2}  # wall + virtual processes
+        # virtual thread metadata names each PE
+        names = [e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert names == ["PE 0", "PE 1", "PE 2"]
+
+    def test_durations_in_microseconds(self):
+        events = chrome_trace_events(golden_observer())
+        gen = next(e for e in events if e["name"] == "synthpop.generate")
+        assert gen["ts"] == 0.0 and gen["dur"] == pytest.approx(300000.0)
+
+    def test_counter_events_carry_running_total(self):
+        events = chrome_trace_events(golden_observer())
+        cs = [e for e in events if e["ph"] == "C"]
+        assert [c["args"]["exposure.infections"] for c in cs] == [3.0, 5.0]
+
+
+class TestTextViews:
+    def test_timeline_matches_golden(self):
+        text = pe_timeline(golden_observer(), width=40)
+        assert text == (GOLDEN / "observe_timeline.txt").read_text().rstrip("\n")
+
+    def test_phase_table_matches_golden(self):
+        text = phase_table(golden_observer())
+        assert text == (GOLDEN / "observe_phases.txt").read_text().rstrip("\n")
+
+    def test_timeline_guards(self):
+        empty = observe.Observer(epoch=0.0)
+        assert pe_timeline(empty) == "(empty trace)"
+        empty.add_virtual_span(0, 1.0, 1.0, "a.m")
+        assert pe_timeline(empty) == "(zero-length trace)"
+
+    def test_utilization(self):
+        util = utilization(golden_observer())
+        assert util.shape == (3,)
+        # pe2's location phase is 3x pe0's, so it is the busiest
+        assert util[2] > util[1] > util[0]
+        assert "mean util" in utilization_table(golden_observer())
+
+    def test_method_profile(self):
+        prof = method_profile(golden_observer())
+        assert prof["pm.person_phase"][0] == 6
+        assert prof["lm.location_phase"][0] == 6
+        table = method_profile_table(golden_observer())
+        assert table.splitlines()[1].split()[0] == "pm.person_phase"
+
+
+class TestPhaseBreakdown:
+    def test_self_excludes_children(self):
+        pb = phase_breakdown(golden_observer())
+        assert pb["partition.kway"]["incl"] == pytest.approx(0.6)
+        assert pb["partition.kway"]["self"] == pytest.approx(0.15)  # 0.6 - 0.25 - 0.20
+        assert pb["sim.day"]["calls"] == 2
+        assert pb["sequential.run"]["self"] == pytest.approx(0.0)
+
+    def test_open_placeholders_ignored(self):
+        obs = observe.Observer(epoch=0.0)
+        obs.spans.append(None)  # simulate a span still open
+        obs.record_span("a", 0.0, 1.0)
+        assert phase_breakdown(obs) == {"a": {"calls": 1, "incl": 1.0, "self": 1.0}}
+
+
+def refresh() -> None:
+    obs = golden_observer()
+    write_chrome_trace(obs, GOLDEN / "observe_chrome.json")
+    (GOLDEN / "observe_timeline.txt").write_text(pe_timeline(obs, width=40) + "\n")
+    (GOLDEN / "observe_phases.txt").write_text(phase_table(obs) + "\n")
+    print(f"refreshed golden files in {GOLDEN}")
+
+
+if __name__ == "__main__":
+    if sys.argv[1:] == ["refresh"]:
+        refresh()
+    else:
+        print(__doc__)

@@ -1,0 +1,82 @@
+"""The `repro profile` driver: coverage, artefacts, CLI plumbing."""
+
+import json
+
+import pytest
+
+from repro.observe import PRESETS, run_profile
+
+
+@pytest.fixture(scope="module")
+def tiny_report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("profile")
+    return run_profile("tiny", out_dir=out), out
+
+
+class TestRunProfile:
+    def test_curves_identical(self, tiny_report):
+        report, _ = tiny_report
+        assert report.curves_identical
+
+    def test_phase_coverage(self, tiny_report):
+        """Every pipeline stage appears in the wall-clock breakdown."""
+        report, _ = tiny_report
+        phases = set(report.phase_totals)
+        assert {"synthpop.generate", "partition.splitloc", "partition.kway",
+                "sequential.run", "sim.day", "exposure.compute",
+                "parallel.run", "charm.runtime.run"} <= phases
+
+    def test_virtual_spans_cover_all_pes(self, tiny_report):
+        report, _ = tiny_report
+        assert report.n_pes == 3  # tiny preset: 1 node x 4 cores, smp, ppn=1
+        assert {v.pe for v in report.observer.virtual_spans} == {0, 1, 2}
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            run_profile("galactic")
+
+    def test_presets_are_consistent(self):
+        for name, preset in PRESETS.items():
+            assert preset.n_persons > 0 and preset.n_days > 0, name
+            assert preset.machine().n_pes > 0, name
+
+
+class TestArtefacts:
+    def test_files_written(self, tiny_report):
+        report, out = tiny_report
+        assert set(report.paths) == {"trace", "timeline", "report"}
+        for path in report.paths.values():
+            assert (out / path.split("/")[-1]).exists()
+
+    def test_trace_json_loads(self, tiny_report):
+        report, _ = tiny_report
+        doc = json.load(open(report.paths["trace"]))
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert pids == {1, 2}  # wall clock + virtual PEs
+
+    def test_report_text(self, tiny_report):
+        report, _ = tiny_report
+        text = report.summary()
+        assert "wall-clock phase breakdown" in text
+        assert "per-PE timeline (virtual time)" in text
+        assert "identical to untraced semantics: True" in text
+
+
+class TestCli:
+    def test_profile_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["profile", "--preset", "tiny", "--out", str(tmp_path / "p")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "preset 'tiny'" in out
+        assert "wrote trace" in out
+        assert (tmp_path / "p" / "trace.json").exists()
+
+    def test_profile_print_only(self, capsys):
+        from repro.cli import main
+
+        rc = main(["profile", "--preset", "tiny", "--out", "-"])
+        assert rc == 0
+        assert "wrote" not in capsys.readouterr().out

@@ -1,0 +1,69 @@
+"""Regression: tracing must not perturb the epidemic.
+
+Instrumentation draws no random numbers and every simulation draw is
+keyed by stable identifiers, so a traced run must be bit-identical to
+an untraced one — the observability layer's no-Heisenberg contract.
+"""
+
+import numpy as np
+
+from repro import observe
+from repro.charm.machine import Machine, MachineConfig
+from repro.core import Scenario, SequentialSimulator, TransmissionModel
+from repro.core.parallel import Distribution, ParallelEpiSimdemics
+from repro.partition import round_robin_partition
+
+
+def _scenario(graph):
+    return Scenario(
+        graph=graph, n_days=4, seed=3, initial_infections=5,
+        transmission=TransmissionModel(2e-4),
+    )
+
+
+def _curve_tuple(curve):
+    return (tuple(curve.new_infections), tuple(np.round(curve.prevalence, 12)))
+
+
+class TestSequential:
+    def test_traced_equals_untraced(self, tiny_graph):
+        plain = SequentialSimulator(_scenario(tiny_graph)).run()
+        with observe.observing() as obs:
+            traced = SequentialSimulator(_scenario(tiny_graph)).run()
+        assert len(obs.closed_spans()) > 0  # tracing actually happened
+        assert _curve_tuple(traced.curve) == _curve_tuple(plain.curve)
+        assert traced.final_histogram == plain.final_histogram
+
+    def test_exception_inside_span_leaves_rng_untouched(self, tiny_graph):
+        # A traced run after a failed traced region must still match.
+        with observe.observing():
+            try:
+                with observe.span("doomed"):
+                    raise RuntimeError
+            except RuntimeError:
+                pass
+            traced = SequentialSimulator(_scenario(tiny_graph)).run()
+        plain = SequentialSimulator(_scenario(tiny_graph)).run()
+        assert _curve_tuple(traced.curve) == _curve_tuple(plain.curve)
+
+
+class TestParallel:
+    def _run(self, graph):
+        mc = MachineConfig(n_nodes=2, cores_per_node=4, smp=True, processes_per_node=1)
+        m = Machine(mc)
+        dist = Distribution.from_partition(round_robin_partition(graph, m.n_pes), m)
+        return ParallelEpiSimdemics(_scenario(graph), mc, dist).run()
+
+    def test_traced_equals_untraced(self, tiny_graph):
+        plain = self._run(tiny_graph)
+        with observe.observing() as obs:
+            traced = self._run(tiny_graph)
+        # the parallel run auto-attached a tracer and ingested it
+        assert len(obs.virtual_spans) > 0
+        assert _curve_tuple(traced.result.curve) == _curve_tuple(plain.result.curve)
+
+    def test_traced_parallel_equals_sequential(self, tiny_graph):
+        seq = SequentialSimulator(_scenario(tiny_graph)).run()
+        with observe.observing():
+            par = self._run(tiny_graph)
+        assert par.result.curve == seq.curve

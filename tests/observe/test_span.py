@@ -1,0 +1,162 @@
+"""Span recording: nesting, exception safety, thread safety, disabled no-op."""
+
+import threading
+
+import pytest
+
+from repro import observe
+from repro.observe.recorder import _NULL_SPAN
+
+
+class TestDisabled:
+    def test_disabled_by_default(self):
+        assert not observe.enabled()
+        assert observe.active() is None
+
+    def test_span_returns_shared_null_handle(self):
+        h1 = observe.span("a", x=1)
+        h2 = observe.span("b")
+        assert h1 is _NULL_SPAN and h2 is _NULL_SPAN
+
+    def test_null_handle_is_inert(self):
+        with observe.span("a") as s:
+            assert s.set(x=1) is s
+
+    def test_counter_noop(self):
+        observe.counter("n", 5)  # must not raise, must not record anywhere
+
+    def test_traced_passthrough(self):
+        @observe.traced("demo")
+        def f(x):
+            return x + 1
+
+        assert f(1) == 2
+        assert f.__name__ == "f"
+
+
+class TestNesting:
+    def test_parent_indices(self):
+        with observe.observing() as obs:
+            with observe.span("outer"):
+                with observe.span("inner"):
+                    pass
+                with observe.span("inner2"):
+                    pass
+        spans = {s.name: s for s in obs.closed_spans()}
+        outer_idx = obs.spans.index(spans["outer"])
+        assert spans["outer"].parent == -1
+        assert spans["inner"].parent == outer_idx
+        assert spans["inner2"].parent == outer_idx
+
+    def test_sibling_roots(self):
+        with observe.observing() as obs:
+            with observe.span("a"):
+                pass
+            with observe.span("b"):
+                pass
+        assert [s.parent for s in obs.closed_spans()] == [-1, -1]
+
+    def test_times_monotone_and_nested(self):
+        with observe.observing() as obs:
+            with observe.span("outer"):
+                with observe.span("inner"):
+                    pass
+        spans = {s.name: s for s in obs.closed_spans()}
+        o, i = spans["outer"], spans["inner"]
+        assert o.start <= i.start <= i.end <= o.end
+
+    def test_attrs_via_set(self):
+        with observe.observing() as obs:
+            with observe.span("a", day=1) as s:
+                s.set(found=3)
+        (s,) = obs.closed_spans()
+        assert s.attrs == {"day": 1, "found": 3}
+
+
+class TestExceptionSafety:
+    def test_span_closes_and_tags_error(self):
+        with observe.observing() as obs:
+            with pytest.raises(ValueError):
+                with observe.span("boom"):
+                    raise ValueError("no")
+        (s,) = obs.closed_spans()
+        assert s.name == "boom" and s.attrs["error"] == "ValueError"
+
+    def test_stack_unwinds_after_error(self):
+        with observe.observing() as obs:
+            with pytest.raises(RuntimeError):
+                with observe.span("outer"):
+                    raise RuntimeError
+            with observe.span("after"):
+                pass
+        spans = {s.name: s for s in obs.closed_spans()}
+        assert spans["after"].parent == -1  # not parented under the dead span
+
+    def test_observing_restores_on_error(self):
+        with pytest.raises(KeyError):
+            with observe.observing():
+                raise KeyError
+        assert not observe.enabled()
+
+
+class TestThreads:
+    def test_concurrent_recording(self):
+        n_threads, per_thread = 4, 50
+
+        def work():
+            for _ in range(per_thread):
+                with observe.span("t.outer"):
+                    with observe.span("t.inner"):
+                        pass
+
+        with observe.observing() as obs:
+            threads = [threading.Thread(target=work) for _ in range(n_threads)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        spans = obs.closed_spans()
+        assert len(spans) == n_threads * per_thread * 2
+        # every inner span's parent is an outer span on the same thread
+        for s in spans:
+            if s.name == "t.inner":
+                parent = obs.spans[s.parent]
+                assert parent.name == "t.outer" and parent.tid == s.tid
+        # OS thread idents are recycled, so distinct tids may be fewer
+        # than n_threads — but never more.
+        assert 1 <= len({s.tid for s in spans}) <= n_threads
+
+
+class TestSwitchboard:
+    def test_start_stop(self):
+        obs = observe.start()
+        try:
+            assert observe.active() is obs and observe.enabled()
+        finally:
+            assert observe.stop() is obs
+        assert observe.stop() is None  # idempotent
+
+    def test_observing_accepts_existing_observer(self):
+        mine = observe.Observer()
+        with observe.observing(mine) as obs:
+            assert obs is mine
+            with observe.span("x"):
+                pass
+        assert len(mine.closed_spans()) == 1
+
+    def test_counter_accumulates(self):
+        with observe.observing() as obs:
+            observe.counter("msgs", 2)
+            observe.counter("msgs", 3)
+        assert obs.counters["msgs"] == 5.0
+        assert [c.total for c in obs.counter_samples] == [2.0, 5.0]
+
+    def test_traced_records_span(self):
+        @observe.traced("demo.fn", kind="unit")
+        def f(x):
+            return x
+
+        with observe.observing() as obs:
+            f(1)
+        (s,) = obs.closed_spans()
+        assert s.name == "demo.fn" and s.attrs == {"kind": "unit"}

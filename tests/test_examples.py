@@ -1,8 +1,10 @@
-"""Example scripts stay importable and their fast paths run.
+"""Example scripts stay importable and actually run.
 
-Full example runs take minutes (they are demos, not tests); here we
-compile every script (catches syntax/import rot) and exercise the two
-cheapest end-to-end.
+Every script compiles (catches syntax/import rot) and every script
+runs end to end under the smoke test below, asserting on a
+load-bearing line of its output.  The heavier demos carry the ``slow``
+marker — deselect with ``-m "not slow"`` for a fast loop; CI runs them
+all.
 """
 
 import py_compile
@@ -12,7 +14,29 @@ from pathlib import Path
 
 import pytest
 
-EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: script -> a line its output must contain (None = just exit 0).
+#: Keep in sync with the examples/ directory; the presence test below
+#: fails when a script is added without a smoke entry.
+NEEDLES = {
+    "quickstart.py": "where the wall-clock time went (repro.observe):",
+    "contact_network_analysis.py": "giant component",
+    "parallel_runtime_demo.py": "identical to sequential reference: True",
+    "partitioning_study.py": None,
+    "scaling_projection.py": None,
+    "course_of_action.py": None,
+    "replicated_policy_study.py": None,
+}
+
+#: Demos whose full run takes multiple seconds.
+SLOW = {"course_of_action.py", "replicated_policy_study.py"}
+
+
+def _run_case(script: str):
+    marks = [pytest.mark.slow] if script in SLOW else []
+    return pytest.param(script, NEEDLES[script], id=script, marks=marks)
 
 
 class TestExamplesCompile:
@@ -22,30 +46,26 @@ class TestExamplesCompile:
 
     def test_expected_examples_present(self):
         names = {p.name for p in EXAMPLES}
-        assert {
-            "quickstart.py",
-            "course_of_action.py",
-            "partitioning_study.py",
-            "parallel_runtime_demo.py",
-            "scaling_projection.py",
-            "contact_network_analysis.py",
-            "replicated_policy_study.py",
-        } <= names
+        assert names == set(NEEDLES), (
+            "examples/ and the NEEDLES smoke map disagree — "
+            "add a needle (or None) for every new script"
+        )
 
 
 class TestExamplesRun:
-    @pytest.mark.parametrize(
-        "script, needle",
-        [
-            ("contact_network_analysis.py", "giant component"),
-            ("parallel_runtime_demo.py", "identical to sequential reference: True"),
-        ],
-    )
+    @pytest.mark.parametrize("script, needle", [_run_case(s) for s in sorted(NEEDLES)])
     def test_runs_and_prints(self, script, needle):
-        path = Path(__file__).parent.parent / "examples" / script
+        path = EXAMPLES_DIR / script
         proc = subprocess.run(
             [sys.executable, str(path)],
             capture_output=True, text=True, timeout=600,
         )
         assert proc.returncode == 0, proc.stderr[-2000:]
-        assert needle in proc.stdout
+        if needle is not None:
+            assert needle in proc.stdout
+
+    def test_tracing_examples_show_observability(self):
+        """quickstart + parallel demo double as repro.observe demos."""
+        for script in ("quickstart.py", "parallel_runtime_demo.py"):
+            source = (EXAMPLES_DIR / script).read_text()
+            assert "observe.observing()" in source, script
