@@ -23,14 +23,20 @@ asserted exactly.
 from __future__ import annotations
 
 import os
+import sys
 import time
 
 import numpy as np
 
-from repro.core import Scenario, TransmissionModel
-from repro.core.exposure import KERNELS, compute_infections
-from repro.synthpop.graph import MINUTES_PER_DAY, PersonLocationGraph
-from repro.util.rng import RngFactory
+sys.path.insert(0, os.path.dirname(__file__))
+
+from emit import emit_result  # noqa: E402
+
+from repro.core import Scenario, TransmissionModel  # noqa: E402
+from repro.core.exposure import KERNELS, compute_infections  # noqa: E402
+from repro.smp.presets import heavy_tailed_graph  # noqa: E402
+from repro.synthpop.graph import PersonLocationGraph  # noqa: E402
+from repro.util.rng import RngFactory  # noqa: E402
 
 TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
 
@@ -49,40 +55,16 @@ def build_heavy_tailed_graph(
     n_locations: int = N_LOCATIONS,
     seed: int = 7,
 ) -> PersonLocationGraph:
-    """Synthetic population with Zipf(1.4) location popularity."""
-    rng = np.random.default_rng(seed)
-    n_visits = n_persons * VISITS_PER_PERSON
-    ranks = np.arange(1, n_locations + 1, dtype=np.float64)
-    popularity = ranks ** -1.4
-    popularity /= popularity.sum()
-    person = np.repeat(np.arange(n_persons, dtype=np.int64), VISITS_PER_PERSON)
-    location = rng.choice(n_locations, size=n_visits, p=popularity).astype(np.int64)
-    # Sublocation count grows with popularity (big venues have many
-    # rooms, paper §III-C) — the regime where the grouped kernel's
-    # full-cross-product-then-mask pays for pairs the flat kernel's
-    # blocked enumeration never materialises.
-    n_sublocs = np.clip(popularity * n_visits / 40.0, 1, 64).astype(np.int64)
-    subloc = (rng.integers(0, 1 << 30, n_visits) % n_sublocs[location]).astype(np.int64)
-    start = rng.integers(0, MINUTES_PER_DAY - 60, n_visits).astype(np.int64)
-    end = start + rng.integers(30, MINUTES_PER_DAY // 3, n_visits)
-    end = np.minimum(end, MINUTES_PER_DAY).astype(np.int64)
-    order = np.lexsort((start, person))
-    g = PersonLocationGraph(
-        name=f"bench-heavy-{n_persons}",
-        n_persons=n_persons,
-        n_locations=n_locations,
-        visit_person=person[order],
-        visit_location=location[order],
-        visit_subloc=subloc[order],
-        visit_start=start[order],
-        visit_end=end[order],
-        location_n_sublocs=n_sublocs,
-        location_type=np.zeros(n_locations, dtype=np.int64),
-        person_age=rng.integers(1, 90, n_persons).astype(np.int64),
-        person_home=rng.integers(0, n_locations, n_persons).astype(np.int64),
+    """Synthetic population with Zipf(1.4) location popularity.
+
+    The generator itself lives in :mod:`repro.smp.presets` (the smp
+    scaling bench and the differential oracle share it); this wrapper
+    keeps the bench's historical entry point and default sizes.
+    """
+    return heavy_tailed_graph(
+        n_persons=n_persons, n_locations=n_locations,
+        visits_per_person=VISITS_PER_PERSON, seed=seed,
     )
-    g.validate()
-    return g
 
 
 def _phase_state(graph, seed=3, infected_frac=0.08):
@@ -138,6 +120,21 @@ def main() -> int:
         print(f"{kernel:>9} {times[kernel] * 1e3:>8.1f}ms {len(results[kernel]):>11}")
     print()
     print(f"speedup (grouped/flat): {speedup:.1f}x")
+
+    path = emit_result(
+        "exposure_kernel",
+        params={
+            "n_persons": graph.n_persons,
+            "n_locations": graph.n_locations,
+            "n_visits": graph.n_visits,
+            "n_days": N_DAYS,
+            "repeats": REPEATS,
+            "tiny": TINY,
+        },
+        wall_seconds={k: times[k] for k in KERNELS},
+        speedup={"flat_vs_grouped": speedup},
+    )
+    print(f"wrote {path}")
 
     if results["flat"] != results["grouped"]:
         print("FAIL: kernels disagree on infection events")

@@ -1,0 +1,120 @@
+"""Strong scaling of the real shared-memory backend (paper §IV-A).
+
+Runs one heavy-tailed scenario on the :class:`~repro.smp.SmpSimulator`
+at 1, 2 and 4 worker processes and reports measured wall-clock speedup
+— the repo's first *real* (non-modelled) scaling curve, the executable
+counterpart of Figure 12's SMP-mode claim.  Every run is also checked
+bit-identical to the sequential reference, so the speedup is certified
+to be for the *same* epidemic.
+
+Results go to ``BENCH_smp.json`` at the repo root via
+:mod:`benchmarks.emit`.
+
+Runs standalone (the CI smoke step) or under pytest:
+
+    PYTHONPATH=src python benchmarks/bench_smp_scaling.py
+    PYTHONPATH=src REPRO_BENCH_TINY=1 python benchmarks/bench_smp_scaling.py
+
+``REPRO_BENCH_TINY=1`` shrinks the population to smoke-test scale.
+The >1.5x speedup assertion at 4 workers only applies on a machine
+with >= 4 CPUs and at full scale — one-core CI runners run the same
+code but time-slice the workers, so only correctness is asserted
+there (cpu count is recorded in the JSON either way).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from emit import emit_result  # noqa: E402
+
+from repro.core import Scenario, TransmissionModel  # noqa: E402
+from repro.smp import SmpSimulator, heavy_tailed_graph  # noqa: E402
+from repro.validate.oracle import sequential_reference  # noqa: E402
+
+TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
+
+N_PERSONS = 500 if TINY else 20_000
+N_LOCATIONS = 80 if TINY else 2_500
+N_DAYS = 2 if TINY else 8
+REPEATS = 1 if TINY else 2
+WORKER_COUNTS = (1, 2, 4)
+MIN_SPEEDUP_AT_4 = 1.5
+
+
+def _scenario(graph) -> Scenario:
+    return Scenario(
+        graph=graph, n_days=N_DAYS, seed=5, initial_infections=20,
+        transmission=TransmissionModel(2.5e-4),
+    )
+
+
+def main() -> int:
+    cpus = os.cpu_count() or 1
+    graph = heavy_tailed_graph(n_persons=N_PERSONS, n_locations=N_LOCATIONS)
+    print(f"heavy-tailed preset: {graph.n_persons:,} persons, "
+          f"{graph.n_visits:,} visits, {N_DAYS} days, {cpus} cpus"
+          f"{' [tiny]' if TINY else ''}")
+
+    seq_result, _events, seq_state, _rem = sequential_reference(_scenario(graph))
+
+    walls: dict[str, float] = {}
+    ok = True
+    for w in WORKER_COUNTS:
+        best = float("inf")
+        for _ in range(REPEATS):
+            out = SmpSimulator(_scenario(graph), n_workers=w).run()
+            best = min(best, out.wall_seconds)
+        identical = (
+            out.result.curve == seq_result.curve
+            and (out.final_health_state == seq_state).all()
+        )
+        ok = ok and identical
+        walls[f"w{w}"] = best
+        print(f"  {w} worker(s): {best * 1e3:8.1f}ms  "
+              f"bit-identical={identical}  "
+              f"({out.backpressure_events} ring stalls)")
+
+    speedups = {f"w{w}": walls["w1"] / walls[f"w{w}"] for w in WORKER_COUNTS}
+    print(f"speedup vs 1 worker: " +
+          ", ".join(f"{w}x{speedups[f'w{w}']:.2f}" for w in WORKER_COUNTS))
+
+    path = emit_result(
+        "smp",
+        params={
+            "n_persons": graph.n_persons,
+            "n_locations": N_LOCATIONS,
+            "n_visits": graph.n_visits,
+            "n_days": N_DAYS,
+            "repeats": REPEATS,
+            "cpu_count": cpus,
+            "tiny": TINY,
+        },
+        wall_seconds=walls,
+        speedup=speedups,
+    )
+    print(f"wrote {path}")
+
+    if not ok:
+        print("FAIL: an smp run diverged from the sequential reference")
+        return 1
+    if not TINY and cpus >= 4 and speedups["w4"] < MIN_SPEEDUP_AT_4:
+        print(f"FAIL: expected >= {MIN_SPEEDUP_AT_4}x at 4 workers on a "
+              f"{cpus}-cpu machine, got {speedups['w4']:.2f}x")
+        return 1
+    if cpus < 4:
+        print(f"note: {cpus} cpu(s) — speedup assertion skipped "
+              f"(workers are time-sliced), correctness asserted")
+    return 0
+
+
+def test_smp_scaling():
+    """Pytest entry point for the same measurement."""
+    assert main() == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

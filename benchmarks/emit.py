@@ -1,0 +1,57 @@
+"""Common benchmark-result emitter: ``BENCH_<name>.json`` at repo root.
+
+Every benchmark that produces a headline number calls
+:func:`emit_result` so the perf trajectory of the repo is machine
+-readable: one JSON file per benchmark, overwritten on each run,
+committed alongside the code that produced it.  Schema::
+
+    {
+      "name":    "<benchmark name>",
+      "params":  {...},          # whatever shaped the measurement
+      "wall_seconds": {...},     # label -> seconds
+      "speedup": {...},          # label -> derived ratio (optional)
+      "git_sha": "<HEAD sha or null>",
+    }
+
+Usable standalone (no pytest) because the benches double as scripts.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+
+__all__ = ["REPO_ROOT", "emit_result"]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _git_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+        )
+    except OSError:  # pragma: no cover - no git binary
+        return None
+    return out.stdout.strip() if out.returncode == 0 else None
+
+
+def emit_result(
+    name: str,
+    params: dict,
+    wall_seconds: dict,
+    speedup: dict | None = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root; return its path."""
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    payload = {
+        "name": name,
+        "params": params,
+        "wall_seconds": {k: round(float(v), 6) for k, v in wall_seconds.items()},
+        "speedup": {k: round(float(v), 3) for k, v in (speedup or {}).items()},
+        "git_sha": _git_sha(),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

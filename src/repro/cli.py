@@ -5,6 +5,7 @@ Commands
 ``generate``   synthesise a population and save it (``.npz``)
 ``info``       summarise a saved population
 ``simulate``   run the sequential simulator, print the epidemic curve
+``run``        run a scenario on a chosen backend (seq / charm / smp)
 ``partition``  partition a population and report quality metrics
 ``scale``      analytic strong-scaling sweep (Figure-13 style)
 ``validate``   differential sequential↔parallel oracle + golden traces
@@ -52,6 +53,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="path to an intervention script")
     s.add_argument("--disease", default=None, help="path to a PTTSL disease model")
 
+    r = sub.add_parser("run", help="run a scenario on a chosen execution backend")
+    r.add_argument("population", nargs="?", default=None,
+                   help=".npz path (omit with --persons to synthesise one)")
+    r.add_argument("--persons", type=int, default=None,
+                   help="synthesise a population of this size instead of loading one")
+    r.add_argument("--backend", choices=["seq", "charm", "smp"], default="smp",
+                   help="seq = sequential reference; charm = simulated chare "
+                        "runtime (virtual time); smp = real shared-memory "
+                        "worker processes (measured wall time)")
+    r.add_argument("--workers", type=int, default=2,
+                   help="worker processes (smp) / PEs (charm)")
+    r.add_argument("--days", type=int, default=16)
+    r.add_argument("--seed", type=int, default=0)
+    r.add_argument("--index-cases", type=int, default=10)
+    r.add_argument("--transmissibility", type=float, default=2e-4)
+    r.add_argument("--kernel", choices=["flat", "grouped"], default=None)
+
     q = sub.add_parser("partition", help="partition a population, report quality")
     q.add_argument("population", help=".npz path")
     q.add_argument("-k", type=int, default=32, help="number of partitions")
@@ -87,6 +105,11 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--diff-kernels", action="store_true",
                    help="also run the grouped-vs-flat kernel differential "
                         "(ordered events, minutes, curve, final state)")
+    v.add_argument("--smp", action="store_true",
+                   help="also certify the shared-memory backend (real worker "
+                        "processes) against the sequential reference")
+    v.add_argument("--smp-workers", type=int, nargs="+", default=[1, 2, 4],
+                   help="worker counts for the --smp cells")
 
     f = sub.add_parser(
         "profile",
@@ -100,6 +123,11 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--out", default="profile-out",
                    help="directory for trace.json / timeline.txt / report.txt "
                         "('-' = print the report only, write nothing)")
+    f.add_argument("--backend", choices=["charm", "smp"], default="charm",
+                   help="charm = simulated runtime traced in virtual time; "
+                        "smp = real worker processes, measured per-PE wall spans")
+    f.add_argument("--workers", type=int, default=None,
+                   help="smp worker count (default 2)")
     return p
 
 
@@ -173,6 +201,78 @@ def _cmd_simulate(args) -> int:
     print("day,new_infections,prevalence")
     for d, (n, prev) in enumerate(zip(curve.new_infections, curve.prevalence)):
         print(f"{d},{n},{prev:.6f}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    import time
+
+    from repro.core import Scenario, SequentialSimulator, TransmissionModel
+
+    if (args.population is None) == (args.persons is None):
+        print("error: give a population path or --persons (exactly one)",
+              file=sys.stderr)
+        return 2
+    if args.persons is not None:
+        from repro.synthpop import PopulationConfig, generate_population
+
+        graph = generate_population(
+            PopulationConfig(n_persons=args.persons), args.seed,
+            name=f"run-{args.persons}",
+        )
+    else:
+        from repro.synthpop import load_population
+
+        graph = load_population(args.population)
+
+    scenario = Scenario(
+        graph=graph,
+        n_days=args.days,
+        seed=args.seed,
+        initial_infections=args.index_cases,
+        transmission=TransmissionModel(args.transmissibility),
+    )
+    t0 = time.perf_counter()
+    if args.backend == "seq":
+        result = SequentialSimulator(scenario, kernel=args.kernel).run()
+        timing = f"wall time    : {time.perf_counter() - t0:.3f}s (1 process)"
+    elif args.backend == "smp":
+        from repro.smp import SmpSimulator
+
+        out = SmpSimulator(scenario, n_workers=args.workers, kernel=args.kernel).run()
+        result = out.result
+        per_day = (
+            sum(p.total for p in out.phase_times) / max(1, len(out.phase_times))
+        )
+        timing = (
+            f"wall time    : {out.wall_seconds:.3f}s on {out.n_workers} worker "
+            f"process(es) ({per_day * 1e3:.1f}ms/day, "
+            f"{out.backpressure_events} ring stalls)"
+        )
+    else:
+        from repro.charm.machine import MachineConfig
+        from repro.core.parallel import Distribution, ParallelEpiSimdemics
+        from repro.partition import round_robin_partition
+
+        machine = MachineConfig(
+            n_nodes=1, cores_per_node=args.workers, smp=args.workers > 1
+        )
+        dist = Distribution.from_partition(
+            round_robin_partition(graph, args.workers), machine
+        )
+        out = ParallelEpiSimdemics(scenario, machine, dist, kernel=args.kernel).run()
+        result = out.result
+        timing = (
+            f"virtual time : {out.total_virtual_time:.3f}s modelled on "
+            f"{args.workers} PE(s) (wall {time.perf_counter() - t0:.3f}s)"
+        )
+
+    curve = result.curve
+    print(f"backend      : {args.backend}")
+    print(timing)
+    print(f"attack rate  : {curve.attack_rate(graph.n_persons):.1%}")
+    print(f"peak day     : {curve.peak_day}")
+    print(f"total cases  : {result.total_infections}")
     return 0
 
 
@@ -271,6 +371,19 @@ def _cmd_validate(args) -> int:
         print(kreport.format())
         ok = ok and kreport.equal
 
+    if args.smp:
+        from repro.validate.oracle import run_smp_matrix
+
+        sreport = run_smp_matrix(
+            workers=tuple(args.smp_workers),
+            n_days=n_days,
+            seed=args.seed,
+            kernel=args.kernel,
+            progress=lambda line: print("  " + line),
+        )
+        print(sreport.format())
+        ok = ok and sreport.all_equal
+
     if args.golden:
         for case in GOLDEN_CASES:
             diffs = verify(case)
@@ -289,7 +402,8 @@ def _cmd_profile(args) -> int:
 
     out_dir = None if args.out == "-" else args.out
     report = run_profile(
-        preset=args.preset, seed=args.seed, days=args.days, out_dir=out_dir
+        preset=args.preset, seed=args.seed, days=args.days, out_dir=out_dir,
+        backend=args.backend, workers=args.workers,
     )
     print(report.summary())
     if report.paths:
@@ -304,6 +418,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
     "simulate": _cmd_simulate,
+    "run": _cmd_run,
     "partition": _cmd_partition,
     "scale": _cmd_scale,
     "validate": _cmd_validate,

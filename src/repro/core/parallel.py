@@ -368,6 +368,16 @@ class ParallelEpiSimdemics:
     namespace:
         Prefix applied to every array/channel/detector name this
         simulation creates on the runtime.
+    backend:
+        ``"charm"`` (default) simulates the chare runtime in virtual
+        time; ``"smp"`` executes the same decomposition on real OS
+        processes over shared memory
+        (:class:`~repro.smp.SmpSimulator` — one worker per chare
+        pair, i.e. ``distribution.n_pm`` workers).  The epidemic is
+        bit-identical either way; with ``"smp"``, :meth:`run` returns
+        an :class:`~repro.smp.SmpResult` whose phase times are
+        *measured* wall-clock seconds instead of modelled virtual
+        time.
     """
 
     def __init__(
@@ -387,9 +397,38 @@ class ParallelEpiSimdemics:
         namespace: str = "",
         kernel: str | None = None,
         validate: bool = False,
+        backend: str = "charm",
     ):
         from repro.core.exposure import KERNELS
 
+        if backend not in ("charm", "smp"):
+            raise ValueError("backend must be 'charm' or 'smp'")
+        self.backend = backend
+        if backend == "smp":
+            if distribution.n_pm != distribution.n_lm:
+                raise ValueError(
+                    "backend='smp' needs matching PM/LM counts "
+                    "(one worker runs one PM and one LM)"
+                )
+            from repro.partition.quality import BipartitePartition
+            from repro.smp import SmpSimulator
+
+            self.scenario = scenario
+            self.graph = scenario.graph
+            self.distribution = distribution
+            self.kernel = kernel
+            self._smp = SmpSimulator(
+                scenario,
+                n_workers=distribution.n_pm,
+                partition=BipartitePartition(
+                    person_part=distribution.person_chare,
+                    location_part=distribution.location_chare,
+                    k=distribution.n_pm,
+                    method=distribution.method,
+                ),
+                kernel=kernel,
+            )
+            return
         if sync not in ("cd", "qd"):
             raise ValueError("sync must be 'cd' or 'qd'")
         if delivery not in ("aggregated", "direct", "tram"):
@@ -622,7 +661,13 @@ class ParallelEpiSimdemics:
         executions are ingested as virtual spans — the Projections-style
         per-PE timeline view.  Tracing draws no random numbers, so the
         epidemic is bit-identical with or without it.
+
+        With ``backend="smp"`` the run instead executes on real worker
+        processes and returns an :class:`~repro.smp.SmpResult` (same
+        ``.result`` payload; measured wall-clock phase times).
         """
+        if self.backend == "smp":
+            return self._smp.run()
         obs = observe.active()
         tracer = None
         if obs is not None:

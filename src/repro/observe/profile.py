@@ -153,15 +153,23 @@ def run_profile(
     days: int | None = None,
     out_dir=None,
     observer: Observer | None = None,
+    backend: str = "charm",
+    workers: int | None = None,
 ) -> ProfileReport:
     """Profile the full pipeline at the given preset size.
 
     Synthesises a population, splits heavy locations, partitions with
     the multilevel partitioner, then runs the scenario through both the
-    sequential reference and the chare-parallel runtime (with per-PE
+    sequential reference and the parallel backend (with per-PE
     tracing), all under one observer.  Returns the
     :class:`ProfileReport`; pass ``out_dir`` to also write the Chrome
     trace and text reports there.
+
+    ``backend`` selects the parallel side: ``"charm"`` (default)
+    traces the simulated runtime in virtual time, ``"smp"`` forks
+    ``workers`` real processes (default: the preset's PE count) whose
+    *measured* per-phase wall spans become the per-PE tracks — the
+    real-hardware analogue of the paper's Figures 9/10.
 
     >>> rep = run_profile("tiny", out_dir=None)
     >>> rep.curves_identical
@@ -181,10 +189,12 @@ def run_profile(
 
     if preset not in PRESETS:
         raise ValueError(f"unknown preset {preset!r}; choose from {sorted(PRESETS)}")
+    if backend not in ("charm", "smp"):
+        raise ValueError("backend must be 'charm' or 'smp'")
     cfg = PRESETS[preset]
     n_days = cfg.n_days if days is None else days
     machine = cfg.machine()
-    n_pes = Machine(machine).n_pes
+    n_pes = Machine(machine).n_pes if backend == "charm" else (workers or 2)
 
     with observing(observer) as obs:
         graph = generate_population(
@@ -192,7 +202,6 @@ def run_profile(
         )
         split = split_heavy_locations(graph, max_partitions=n_pes)
         g = split.graph
-        bp = partition_bipartite(g, n_pes)
 
         def scenario() -> Scenario:
             return Scenario(
@@ -201,8 +210,14 @@ def run_profile(
             )
 
         seq = SequentialSimulator(scenario()).run()
-        dist = Distribution.from_partition(bp, Machine(machine))
-        par = ParallelEpiSimdemics(scenario(), machine, dist).run()
+        if backend == "smp":
+            from repro.smp import SmpSimulator
+
+            par = SmpSimulator(scenario(), n_workers=n_pes).run()
+        else:
+            bp = partition_bipartite(g, n_pes)
+            dist = Distribution.from_partition(bp, Machine(machine))
+            par = ParallelEpiSimdemics(scenario(), machine, dist).run()
 
     report = ProfileReport(
         observer=obs,

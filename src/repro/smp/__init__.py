@@ -1,0 +1,48 @@
+"""``repro.smp`` — the real shared-memory multi-process backend.
+
+The paper's Section IV-A SMP mode made executable: where
+:mod:`repro.core.parallel` *models* the chare runtime (virtual time,
+cost models), this package *runs* it — worker OS processes as PEs over
+``multiprocessing.shared_memory`` state, ring-buffer mailboxes with
+TRAM-style aggregation, and an atomic-counter completion detector
+mirroring :mod:`repro.charm.completion`.  The keyed RNG makes the
+result bit-identical to the sequential reference, so the two runtimes
+(simulated and real) validate each other through the differential
+oracle.
+
+Entry points:
+
+* :class:`~repro.smp.backend.SmpSimulator` — run a scenario on N
+  worker processes (``SmpSimulator(sc, n_workers=4).run()``);
+* ``ParallelEpiSimdemics(..., backend="smp")`` / ``repro run
+  --backend smp --workers N`` — the integrated surfaces;
+* :func:`~repro.validate.oracle.run_smp_matrix` — certify
+  bit-exactness against :class:`~repro.core.simulator.
+  SequentialSimulator`;
+* ``benchmarks/bench_smp_scaling.py`` — strong-scaling measurements
+  (writes ``BENCH_smp.json``).
+"""
+
+from repro.smp.backend import SmpPhaseTimes, SmpResult, SmpSimulator, SmpWorkerError
+from repro.smp.completion import PhaseTimeout, ShmPhaseDetector
+from repro.smp.layout import SmpPlan, block_partition, build_shared_state
+from repro.smp.presets import heavy_tailed_graph
+from repro.smp.ring import Mailbox, RingFull, RingGrid
+from repro.smp.shm import SharedArena
+
+__all__ = [
+    "SmpSimulator",
+    "SmpResult",
+    "SmpPhaseTimes",
+    "SmpWorkerError",
+    "ShmPhaseDetector",
+    "PhaseTimeout",
+    "SmpPlan",
+    "block_partition",
+    "build_shared_state",
+    "heavy_tailed_graph",
+    "Mailbox",
+    "RingGrid",
+    "RingFull",
+    "SharedArena",
+]

@@ -1,0 +1,360 @@
+"""Driver for the shared-memory multi-process backend (paper §IV-A).
+
+:class:`SmpSimulator` runs the six-step day loop on real OS processes:
+it lays the population state out in shared memory
+(:mod:`repro.smp.layout`), forks ``n_workers`` PEs running
+:func:`~repro.smp.worker.worker_main`, and then orchestrates days —
+everything the sequential simulator does *centrally* (index-case
+seeding, intervention treatment updates, prevalence bookkeeping) stays
+on the driver, in exactly the sequential order, while the person /
+location / apply phases execute in parallel on the workers with visit
+and infect traffic crossing PE boundaries through shared ring buffers.
+
+The result is **bit-identical** to
+:class:`~repro.core.simulator.SequentialSimulator` (same infection
+events, same epi-curve, same final arrays): every stochastic draw is
+keyed by (phase, day, person/location ids), so neither the partition
+nor message delivery order can influence the epidemic.  The
+differential oracle certifies this per run
+(:func:`repro.validate.oracle.run_smp_matrix`).
+
+Observability: workers stamp each phase with ``time.perf_counter()``
+(CLOCK_MONOTONIC — one system-wide epoch on Linux, comparable across
+processes); the driver normalises them to the run origin and feeds
+them to an active :mod:`repro.observe` observer as per-PE tracks, so
+the existing Chrome-trace / utilization exporters render *measured*
+timelines of real PEs.
+
+Failure handling: a worker death is detected by the driver's poll
+loop, which raises the shared abort flag (peers spinning in a
+completion wait exit cleanly instead of hanging) and raises
+:class:`SmpWorkerError`; the shared-memory arena is unlinked on every
+exit path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import observe
+from repro.core.exposure import InfectionEvent
+from repro.core.interventions import DayContext
+from repro.core.metrics import EpiCurve, state_histogram
+from repro.core.scenario import Scenario
+from repro.core.simulator import DayResult, SimulationResult
+from repro.partition.quality import BipartitePartition
+from repro.smp.layout import SmpPlan, block_partition, build_shared_state
+from repro.smp.worker import WorkerContext, worker_main
+
+__all__ = ["SmpSimulator", "SmpResult", "SmpPhaseTimes", "SmpWorkerError"]
+
+
+class SmpWorkerError(RuntimeError):
+    """A worker process died or reported an exception; the run aborted."""
+
+
+@dataclass
+class SmpPhaseTimes:
+    """Measured wall-clock phase boundaries of one day (seconds from
+    the run origin; each boundary is the *last* worker's crossing)."""
+
+    day: int
+    start: float
+    visits_done: float
+    locations_done: float
+    day_done: float
+
+    @property
+    def person_phase(self) -> float:
+        return self.visits_done - self.start
+
+    @property
+    def location_phase(self) -> float:
+        return self.locations_done - self.visits_done
+
+    @property
+    def total(self) -> float:
+        return self.day_done - self.start
+
+
+@dataclass
+class SmpResult:
+    """Full output of one SMP run."""
+
+    result: SimulationResult
+    n_workers: int
+    wall_seconds: float
+    phase_times: list[SmpPhaseTimes] = field(default_factory=list)
+    #: per-day infection events, as the oracle diffs them
+    infection_log: dict[int, list[InfectionEvent]] = field(default_factory=dict)
+    final_health_state: np.ndarray | None = None
+    final_days_remaining: np.ndarray | None = None
+    #: total ring-full stalls across workers and days
+    backpressure_events: int = 0
+
+
+class SmpSimulator:
+    """Shared-memory parallel run of one scenario.
+
+    Parameters
+    ----------
+    scenario:
+        The simulation specification (same object the sequential
+        simulator consumes).
+    n_workers:
+        PE processes to fork.  ``1`` is valid (useful as a
+        protocol-overhead baseline).
+    partition:
+        Person/location ownership; any
+        :class:`~repro.partition.BipartitePartition` with
+        ``k == n_workers``.  Defaults to the contiguous
+        :func:`~repro.smp.layout.block_partition`.
+    kernel:
+        Exposure kernel forwarded to
+        :func:`~repro.core.exposure.compute_infections`.
+    ring_capacity / batch:
+        Mailbox geometry: words per SPSC ring and TRAM aggregation
+        burst size.
+    timeout:
+        Per-phase completion deadline inside workers (a hang breaker;
+        generous because CI machines can be one-core).
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        n_workers: int,
+        partition: BipartitePartition | None = None,
+        kernel: str | None = None,
+        ring_capacity: int = 8192,
+        batch: int = 256,
+        collect_location_stats: bool = False,
+        timeout: float | None = 120.0,
+        _fault: dict | None = None,
+    ):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        g = scenario.graph
+        if partition is None:
+            partition = block_partition(g.n_persons, g.n_locations, n_workers)
+        if partition.k != n_workers:
+            raise ValueError(
+                f"partition has k={partition.k} but n_workers={n_workers}"
+            )
+        if ring_capacity < batch:
+            raise ValueError("ring_capacity must be >= batch")
+        self.scenario = scenario
+        self.n_workers = n_workers
+        self.plan = SmpPlan.from_partition(g, partition)
+        self.kernel = kernel
+        self.ring_capacity = ring_capacity
+        self.batch = batch
+        self.collect_location_stats = collect_location_stats
+        self.timeout = timeout
+        self._fault = _fault
+        self.rng_factory = scenario.rng_factory
+        d = scenario.disease
+        self._terminal_states = np.array(
+            [
+                s.dwell.kind.name == "FOREVER"
+                and not s.is_infectious
+                and not s.is_susceptible
+                for s in d.states
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    def _prevalence(self, health_state, ever_infected) -> float:
+        d = self.scenario.disease
+        infected_now = ever_infected & (health_state != d.susceptible_index)
+        infected_now &= ~self._terminal_states[health_state]
+        return float(infected_now.sum()) / max(1, self.scenario.graph.n_persons)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SmpResult:
+        with observe.span(
+            "smp.run", workers=self.n_workers, days=self.scenario.n_days
+        ):
+            return self._run()
+
+    def _run(self) -> SmpResult:
+        sc = self.scenario
+        d = sc.disease
+        n = self.n_workers
+        mp = multiprocessing.get_context("fork")
+        shared = build_shared_state(sc, n, self.ring_capacity)
+        procs: list = []
+        parent_conns: list = []
+        t_origin = time.perf_counter()
+        try:
+            for rank in range(n):
+                parent, child = mp.Pipe()
+                ctx = WorkerContext(
+                    rank=rank, scenario=sc, shared=shared, plan=self.plan,
+                    conn=child, kernel=self.kernel, batch=self.batch,
+                    collect_stats=self.collect_location_stats,
+                    timeout=self.timeout, fault=self._fault,
+                )
+                # Fork inherits the shared mappings and the context
+                # directly — nothing is pickled, nothing re-attached.
+                p = mp.Process(target=worker_main, args=(ctx,), daemon=True)
+                p.start()
+                child.close()  # the worker keeps its inherited copy
+                procs.append(p)
+                parent_conns.append(parent)
+
+            curve = EpiCurve()
+            result = SimulationResult(curve=curve, final_histogram={})
+            out = SmpResult(result=result, n_workers=n, wall_seconds=0.0)
+            seeded = self._seed(shared)
+
+            for day in range(sc.n_days):
+                day_start = time.perf_counter() - t_origin
+                prevalence = self._prevalence(
+                    shared.health_state, shared.ever_infected
+                )
+                ctx = DayContext(
+                    day=day, graph=sc.graph, disease=d,
+                    health_state=shared.health_state,
+                    treatment=shared.treatment,
+                    prevalence=prevalence,
+                    cumulative_attack=float(shared.ever_infected.mean()),
+                    rng_factory=self.rng_factory,
+                )
+                sc.interventions.update_treatments(ctx)
+                # Workers are parked on their pipes; counters are quiet.
+                shared.visit_counters[:] = 0
+                shared.infect_counters[:] = 0
+                for conn in parent_conns:
+                    conn.send(("day", day, prevalence, ctx.cumulative_attack))
+
+                reports = self._collect_reports(procs, parent_conns, shared, day)
+                self._ingest_day(
+                    out, day, day_start, t_origin, reports,
+                    seeded if day == 0 else 0, shared,
+                )
+
+            out.result.final_histogram = state_histogram(
+                shared.health_state.copy(), d
+            )
+            out.final_health_state = shared.health_state.copy()
+            out.final_days_remaining = shared.days_remaining.copy()
+            out.wall_seconds = time.perf_counter() - t_origin
+            for conn in parent_conns:
+                conn.send(("stop",))
+            return out
+        finally:
+            shared.abort[0] = 1
+            for conn in parent_conns:
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+            for p in procs:
+                p.join(timeout=5.0)
+                if p.is_alive():  # pragma: no cover - last resort
+                    p.terminate()
+                    p.join(timeout=5.0)
+            shared.arena.close()
+
+    # ------------------------------------------------------------------
+    def _seed(self, shared) -> int:
+        cases = self.scenario.index_cases()
+        infected = self.scenario.disease.infect(
+            cases, shared.health_state, shared.days_remaining,
+            shared.treatment, day=-1, rng_factory=self.rng_factory,
+        )
+        shared.ever_infected[infected] = True
+        return int(infected.size)
+
+    def _collect_reports(self, procs, conns, shared, day) -> list[dict]:
+        """The day barrier: one ``day_done`` from every worker.
+
+        Polls pipes and liveness together so a dead worker aborts the
+        run (and unsticks its spinning peers) instead of hanging it.
+        """
+        reports: list[dict | None] = [None] * len(procs)
+        while any(r is None for r in reports):
+            progress = False
+            for rank, conn in enumerate(conns):
+                if reports[rank] is not None:
+                    continue
+                if conn.poll(0.002):
+                    try:
+                        msg = conn.recv()
+                    except EOFError:
+                        # A dead worker's pipe reads as EOF: same abort
+                        # path as seeing the process gone below.
+                        shared.abort[0] = 1
+                        procs[rank].join(timeout=5.0)
+                        raise SmpWorkerError(
+                            f"worker {rank} died on day {day} "
+                            f"(exit code {procs[rank].exitcode}) before reporting"
+                        ) from None
+                    if msg[0] == "error":
+                        shared.abort[0] = 1
+                        raise SmpWorkerError(
+                            f"worker {rank} failed on day {day}: {msg[1]}\n{msg[2]}"
+                        )
+                    assert msg[0] == "day_done" and msg[1] == day
+                    reports[rank] = msg[2]
+                    progress = True
+            if progress:
+                continue
+            for rank, p in enumerate(procs):
+                if reports[rank] is None and not p.is_alive():
+                    shared.abort[0] = 1
+                    raise SmpWorkerError(
+                        f"worker {rank} died on day {day} "
+                        f"(exit code {p.exitcode}) before reporting"
+                    )
+        return reports
+
+    def _ingest_day(
+        self, out: SmpResult, day, day_start, t_origin, reports, seeded, shared
+    ) -> None:
+        sc = self.scenario
+        new_infections = sum(r["infected"] for r in reports) + seeded
+        prevalence = self._prevalence(shared.health_state, shared.ever_infected)
+        day_result = DayResult(
+            day=day,
+            visits_made=sum(r["visits_made"] for r in reports),
+            new_infections=new_infections,
+            transitions=sum(r["transitions"] for r in reports),
+            prevalence=prevalence,
+        )
+        out.result.days.append(day_result)
+        out.result.curve.record_day(new_infections, prevalence)
+        out.infection_log[day] = [
+            InfectionEvent(person=p, location=loc, minute=m)
+            for r in reports
+            for (p, loc, m) in r["events"]
+        ]
+        out.backpressure_events += sum(r["backpressure"] for r in reports)
+        if self.collect_location_stats:
+            for r in reports:
+                events, interactions = r["stats"]
+                out.result.location_events.update(events)
+                out.result.location_interactions.update(interactions)
+
+        obs = observe.active()
+        boundaries = {"person_phase": [], "location_phase": [], "apply_phase": []}
+        for rank, r in enumerate(reports):
+            for t0, t1, name in r["spans"]:
+                start, end = t0 - t_origin, t1 - t_origin
+                boundaries[name].append(end)
+                if obs is not None:
+                    obs.add_virtual_span(rank, start, end, f"pe.{name}")
+        out.phase_times.append(
+            SmpPhaseTimes(
+                day=day,
+                start=day_start,
+                visits_done=max(boundaries["person_phase"]),
+                locations_done=max(boundaries["location_phase"]),
+                day_done=max(boundaries["apply_phase"]),
+            )
+        )

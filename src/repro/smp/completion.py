@@ -1,0 +1,126 @@
+"""Atomic-counter completion detection over shared memory.
+
+Mirrors the semantics of the simulated runtime's
+:class:`~repro.charm.completion.CompletionDetector` (paper §IV-B): a
+phase is complete exactly when every producer has declared itself done
+*and* every produced message has been consumed.  Instead of wave
+broadcasts over a scheduler, each worker owns one column of a shared
+``(3, n_workers)`` int64 counter block::
+
+    row 0: produced[w]  — messages worker w has pushed into rings
+    row 1: consumed[w]  — messages worker w has drained and processed
+    row 2: done[w]      — 1 once worker w finished producing this phase
+
+Each slot has a single writer (its worker), so plain int64 stores are
+race-free; the only subtlety is the *order* a reader snapshots them
+in.  :meth:`ShmPhaseDetector.closed` reads ``done`` first, then
+``produced``, then ``consumed``:
+
+* ``done[w] == 1`` is written *after* worker ``w``'s final
+  ``produced`` bump, so (store order being preserved on x86 TSO — and
+  by the GIL's barriers in CPython) seeing ``done`` implies the final
+  ``produced[w]`` is visible.  Reading the counters the other way
+  round could observe a stale, too-small ``produced`` next to
+  ``done=1`` and close the phase with messages still in flight — the
+  premature-closure bug the adversarial tests in
+  ``tests/charm/test_completion_adversarial.py`` hunt for in the
+  simulated detectors.
+* ``consumed`` only grows toward ``produced`` (a message is consumed
+  after it was produced), so a stale ``consumed`` read can only delay
+  closure, never cause it early.
+
+Hence ``all(done) and sum(produced) == sum(consumed)`` is a *stable*
+predicate: once true it stays true, exactly like a clean completion
+wave.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+__all__ = ["ShmPhaseDetector", "PhaseTimeout"]
+
+
+class PhaseTimeout(RuntimeError):
+    """A phase failed to close within the deadline (likely a dead peer)."""
+
+
+class ShmPhaseDetector:
+    """One phase's completion state, shared by ``n_workers`` processes.
+
+    Works on any int64 array of shape ``(3, n_workers)`` — shared
+    memory in production, a plain array in tests:
+
+    >>> det = ShmPhaseDetector(np.zeros((3, 2), dtype=np.int64), rank=0)
+    >>> other = ShmPhaseDetector(det.counters, rank=1)
+    >>> det.produce(3); det.producer_done()
+    >>> other.producer_done()
+    >>> det.closed()          # 3 produced, none consumed yet
+    False
+    >>> other.consume(3)
+    >>> det.closed()
+    True
+    """
+
+    def __init__(self, counters: np.ndarray, rank: int):
+        if counters.shape[0] != 3:
+            raise ValueError(f"expected (3, n) counters, got {counters.shape}")
+        self.counters = counters
+        self.rank = rank
+
+    # -- writer side (each worker touches only its own column) -----------
+    def produce(self, k: int = 1) -> None:
+        self.counters[0, self.rank] += k
+
+    def consume(self, k: int = 1) -> None:
+        self.counters[1, self.rank] += k
+
+    def producer_done(self) -> None:
+        self.counters[2, self.rank] = 1
+
+    # -- reader side ------------------------------------------------------
+    def closed(self) -> bool:
+        """True iff the phase can never see another message (stable)."""
+        # Snapshot order matters: done before produced before consumed —
+        # see the module docstring for why the reverse order is unsound.
+        done = self.counters[2].copy()
+        if not done.all():
+            return False
+        produced = int(self.counters[0].sum())
+        consumed = int(self.counters[1].sum())
+        return consumed == produced
+
+    def wait_closed(
+        self,
+        drain,
+        timeout: float | None = None,
+        should_abort=None,
+    ) -> None:
+        """Spin until :meth:`closed`, calling ``drain()`` each lap.
+
+        ``drain`` must make progress on this worker's inbox (bumping
+        :meth:`consume`) and return a truthy value when it consumed
+        anything — unproductive laps back off with a tiny sleep so
+        spinning peers don't starve each other on oversubscribed
+        machines.  ``should_abort`` may raise to break out when the run
+        is being torn down (e.g. a peer died).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self.closed():
+            if should_abort is not None:
+                should_abort()
+            if not drain():
+                time.sleep(5e-5)
+            if deadline is not None and time.monotonic() > deadline:
+                raise PhaseTimeout(
+                    f"worker {self.rank}: phase did not close within "
+                    f"{timeout:.1f}s (produced={int(self.counters[0].sum())}, "
+                    f"consumed={int(self.counters[1].sum())}, "
+                    f"done={self.counters[2].tolist()})"
+                )
+
+    def reset(self) -> None:
+        """Zero all counters — driver-only, between phases/days."""
+        self.counters[:] = 0

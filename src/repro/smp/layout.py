@@ -1,0 +1,169 @@
+"""Per-partition shared-memory layout of the simulation state.
+
+The SMP backend lays the population state out once, before forking:
+
+* **person state** — ``health_state`` / ``days_remaining`` /
+  ``treatment`` / ``ever_infected``, one shared array each, indexed by
+  global person id.  Worker ``w`` writes only the entries of persons
+  it owns (a disjoint block under the default contiguous layout), so
+  concurrent updates never touch the same element;
+* **traffic** — two ring-buffer grids (:class:`~repro.smp.ring.
+  RingGrid`), one for visit rows (1 word each), one for infect events
+  (3 words: person, location, minute);
+* **control** — two ``(3, n)`` completion-counter blocks (visit and
+  infect phases, :class:`~repro.smp.completion.ShmPhaseDetector`) and
+  a one-word abort flag the driver raises on teardown.
+
+Ownership mirrors the simulated runtime's
+:class:`~repro.core.parallel.Distribution`: persons → PersonManager
+ranks, locations → LocationManager ranks, except here both managers of
+rank ``w`` live in the same OS process (worker ``w`` *is* a PE running
+one PM and one LM — the paper's SMP mode with one chare of each array
+per PE).  Any :class:`~repro.partition.BipartitePartition` with
+``k == n_workers`` can be used; :func:`block_partition` is the default
+contiguous layout (persons and locations in equal slabs), which keeps
+most visit traffic local for synthetic populations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.disease import UNTREATED
+from repro.partition.quality import BipartitePartition
+from repro.smp.completion import ShmPhaseDetector
+from repro.smp.ring import RingGrid
+from repro.smp.shm import SharedArena
+
+__all__ = [
+    "INFECT_RECORD",
+    "block_partition",
+    "SmpPlan",
+    "SharedState",
+    "build_shared_state",
+]
+
+#: Words per infect-event record: (person, location, minute).
+INFECT_RECORD = 3
+
+
+def block_partition(n_persons: int, n_locations: int, k: int) -> BipartitePartition:
+    """Contiguous equal slabs of persons and locations over ``k`` workers.
+
+    >>> p = block_partition(10, 4, 2)
+    >>> p.person_part.tolist()
+    [0, 0, 0, 0, 0, 1, 1, 1, 1, 1]
+    >>> p.location_part.tolist()
+    [0, 0, 1, 1]
+    """
+    return BipartitePartition(
+        person_part=(np.arange(n_persons, dtype=np.int64) * k) // max(1, n_persons),
+        location_part=(np.arange(n_locations, dtype=np.int64) * k) // max(1, n_locations),
+        k=k,
+        method="block",
+    )
+
+
+@dataclass
+class SmpPlan:
+    """Who owns what: the per-worker decomposition of one run."""
+
+    n_workers: int
+    #: person id -> owning worker
+    person_owner: np.ndarray
+    #: location id -> owning worker
+    location_owner: np.ndarray
+    #: per worker: owned person ids (ascending)
+    persons: list[np.ndarray]
+    #: per worker: owned visit-row indices (ascending; rows of owned persons)
+    visit_rows: list[np.ndarray]
+    #: per worker: owned location ids (ascending)
+    locations: list[np.ndarray]
+
+    @classmethod
+    def from_partition(cls, graph, partition: BipartitePartition) -> "SmpPlan":
+        partition.validate_against(graph)
+        k = partition.k
+        person_owner = partition.person_part.astype(np.int64)
+        location_owner = partition.location_part.astype(np.int64)
+        row_owner = person_owner[graph.visit_person]
+        return cls(
+            n_workers=k,
+            person_owner=person_owner,
+            location_owner=location_owner,
+            persons=[np.flatnonzero(person_owner == w) for w in range(k)],
+            visit_rows=[np.flatnonzero(row_owner == w) for w in range(k)],
+            locations=[np.flatnonzero(location_owner == w) for w in range(k)],
+        )
+
+
+@dataclass
+class SharedState:
+    """All shared-memory arrays of one run (created pre-fork, inherited)."""
+
+    arena: SharedArena
+    health_state: np.ndarray
+    days_remaining: np.ndarray
+    treatment: np.ndarray
+    ever_infected: np.ndarray
+    visit_rings: RingGrid
+    infect_rings: RingGrid
+    visit_counters: np.ndarray
+    infect_counters: np.ndarray
+    #: one word; nonzero once the driver aborts the run
+    abort: np.ndarray
+
+    def visit_detector(self, rank: int) -> ShmPhaseDetector:
+        return ShmPhaseDetector(self.visit_counters, rank)
+
+    def infect_detector(self, rank: int) -> ShmPhaseDetector:
+        return ShmPhaseDetector(self.infect_counters, rank)
+
+
+def build_shared_state(
+    scenario, n_workers: int, ring_capacity: int = 8192
+) -> SharedState:
+    """Allocate the run's shared arrays inside one :class:`SharedArena`.
+
+    ``health_state`` / ``days_remaining`` start from the disease
+    model's initial population state, exactly as
+    :class:`~repro.core.simulator.SequentialSimulator` initialises them.
+    """
+    g = scenario.graph
+    arena = SharedArena()
+    try:
+        state0, remaining0 = scenario.disease.initial_health(g.n_persons)
+        health_state = arena.share("health", state0)
+        days_remaining = arena.share("remaining", remaining0)
+        treatment = arena.share(
+            "treatment", np.full(g.n_persons, UNTREATED, dtype=np.int32)
+        )
+        ever_infected = arena.alloc("ever", (g.n_persons,), np.bool_)
+        visit_rings = RingGrid(
+            arena.alloc("vrings", RingGrid.shape(n_workers, ring_capacity)),
+            ring_capacity,
+        )
+        infect_rings = RingGrid(
+            arena.alloc("irings", RingGrid.shape(n_workers, ring_capacity)),
+            ring_capacity,
+        )
+        visit_counters = arena.alloc("vcount", (3, n_workers))
+        infect_counters = arena.alloc("icount", (3, n_workers))
+        abort = arena.alloc("abort", (1,))
+    except Exception:
+        arena.close()
+        raise
+    return SharedState(
+        arena=arena,
+        health_state=health_state,
+        days_remaining=days_remaining,
+        treatment=treatment,
+        ever_infected=ever_infected,
+        visit_rings=visit_rings,
+        infect_rings=infect_rings,
+        visit_counters=visit_counters,
+        infect_counters=infect_counters,
+        abort=abort,
+    )

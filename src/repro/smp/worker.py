@@ -1,0 +1,244 @@
+"""The worker-process body: one PE running a PM and an LM.
+
+Each worker executes the paper's six-step day loop over real shared
+memory (see :mod:`repro.smp.backend` for the driver side):
+
+1. **person phase** — advance the PTTS of owned persons in the shared
+   health arrays (disjoint index sets, so no synchronisation needed),
+   filter owned visit rows through the intervention schedule, and
+   stream surviving row indices to the worker owning each visit's
+   location through the visit ring grid;
+2. the visit phase closes via the shared completion detector (workers
+   drain their inboxes while waiting);
+3. **location phase** — sort the received rows ascending and run
+   :func:`~repro.core.exposure.compute_infections` over them.  Because
+   the kernels reduce hazards per (location, person) with stable
+   sorts, an ascending row subset covering whole locations produces
+   the *same bits* as the sequential whole-population pass restricted
+   to those locations — delivery order never leaks into the epidemic;
+4. infect events (3 words each) stream to the owner of each infected
+   person; the infect detector closes the phase, which by the latent
+   -period argument also means every reader of ``health_state`` is
+   done;
+5. **apply phase** — :meth:`DiseaseModel.infect` on the received
+   persons (owned, so writes stay disjoint);
+6. the day report (counts, events, wall-clock phase spans) goes back
+   to the driver over the worker's pipe, which doubles as the day
+   barrier.
+
+Keyed RNG makes all of this order-independent: every draw a worker
+takes is keyed by (phase, day, person/location), so the epidemic is
+bit-identical to :class:`~repro.core.simulator.SequentialSimulator`
+no matter how messages interleave.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.exposure import compute_infections
+from repro.core.interventions import DayContext
+from repro.smp.layout import INFECT_RECORD, SharedState, SmpPlan
+from repro.smp.ring import Mailbox
+
+__all__ = ["WorkerContext", "worker_main", "WorkerAbort", "FAULT_EXIT_CODE"]
+
+#: Exit code of a fault-injected crash (tests assert on it).
+FAULT_EXIT_CODE = 17
+
+
+class WorkerAbort(Exception):
+    """Raised inside a worker when the driver set the abort flag."""
+
+
+@dataclass
+class WorkerContext:
+    """Everything one worker needs; built pre-fork and inherited."""
+
+    rank: int
+    scenario: Any
+    shared: SharedState
+    plan: SmpPlan
+    conn: Any  # this worker's end of the driver pipe
+    kernel: str | None = None
+    batch: int = 256
+    collect_stats: bool = False
+    timeout: float | None = 120.0
+    #: test-only fault injection: {"rank": r, "day": d, "phase": p} makes
+    #: worker r die with FAULT_EXIT_CODE at the start of phase p of day d
+    fault: dict | None = field(default=None, repr=False)
+
+
+def _maybe_fault(ctx: WorkerContext, day: int, phase: str) -> None:
+    f = ctx.fault
+    if f and f["rank"] == ctx.rank and f["day"] == day and f["phase"] == phase:
+        os._exit(FAULT_EXIT_CODE)
+
+
+def worker_main(ctx: WorkerContext) -> None:
+    """Process entry point; never raises into multiprocessing internals."""
+    try:
+        _run(ctx)
+    except (WorkerAbort, EOFError, KeyboardInterrupt):
+        pass  # driver tore the run down; exit quietly
+    except Exception as exc:  # pragma: no cover - defensive
+        import traceback
+
+        try:
+            ctx.conn.send(("error", repr(exc), traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        try:
+            ctx.conn.close()
+        except Exception:
+            pass
+
+
+def _run(ctx: WorkerContext) -> None:
+    sc = ctx.scenario
+    g = sc.graph
+    d = sc.disease
+    shared = ctx.shared
+    rank = ctx.rank
+    # A fresh factory from the scenario seed: keyed streams are pure
+    # functions of (seed, key), so every process derives the same draws.
+    rngf = sc.rng_factory
+    det_v = shared.visit_detector(rank)
+    det_i = shared.infect_detector(rank)
+    owned_persons = ctx.plan.persons[rank]
+    owned_rows = ctx.plan.visit_rows[rank]
+    loc_owner = ctx.plan.location_owner
+    person_owner = ctx.plan.person_owner
+    n_workers = ctx.plan.n_workers
+
+    recv_rows: list[np.ndarray] = []
+    recv_events: list[np.ndarray] = []
+
+    def drain_visits() -> int:
+        got = 0
+        for _src, words in visit_mb.receive():
+            det_v.consume(int(words.size))
+            recv_rows.append(words)
+            got += int(words.size)
+        return got
+
+    def drain_infects() -> int:
+        got = 0
+        for _src, words in infect_mb.receive():
+            det_i.consume(int(words.size))
+            recv_events.append(words)
+            got += int(words.size)
+        return got
+
+    visit_mb = Mailbox(
+        shared.visit_rings, rank, batch=ctx.batch,
+        on_backpressure=drain_visits, on_sent=det_v.produce,
+    )
+    infect_mb = Mailbox(
+        shared.infect_rings, rank, batch=ctx.batch, record=INFECT_RECORD,
+        on_backpressure=drain_infects, on_sent=det_i.produce,
+    )
+
+    def check_abort() -> None:
+        if shared.abort[0]:
+            raise WorkerAbort
+
+    while True:
+        msg = ctx.conn.recv()  # the day barrier: blocks until the driver
+        if msg[0] == "stop":
+            break
+        _, day, prevalence, cumulative_attack = msg
+        day_ctx = DayContext(
+            day=day, graph=g, disease=d,
+            health_state=shared.health_state, treatment=shared.treatment,
+            prevalence=prevalence, cumulative_attack=cumulative_attack,
+            rng_factory=rngf,
+        )
+
+        # -- step 1: person phase (PTTS + visit filtering + send) --------
+        t0 = time.perf_counter()
+        _maybe_fault(ctx, day, "person")
+        transitions = d.advance_day(
+            shared.health_state, shared.days_remaining, shared.treatment,
+            day, rngf, subset=owned_persons,
+        )
+        keep = sc.interventions.visit_mask(day_ctx, rows=owned_rows)
+        kept = owned_rows[keep]
+        dests = loc_owner[g.visit_location[kept]]
+        for dst in range(n_workers):
+            visit_mb.send(dst, kept[dests == dst])
+        visit_mb.flush()
+        det_v.producer_done()
+        # -- step 2: visit-phase completion -------------------------------
+        det_v.wait_closed(drain_visits, timeout=ctx.timeout, should_abort=check_abort)
+        t1 = time.perf_counter()
+
+        # -- step 3: location phase over owned locations' rows ------------
+        _maybe_fault(ctx, day, "location")
+        if recv_rows:
+            rows = np.sort(np.concatenate(recv_rows))
+            recv_rows.clear()
+        else:
+            rows = np.empty(0, dtype=np.int64)
+        phase = compute_infections(
+            rows, g, shared.health_state, d, sc.transmission, day, rngf,
+            collect_stats=ctx.collect_stats, kernel=ctx.kernel,
+        )
+        if phase.infections:
+            ev = np.array(
+                [(e.person, e.location, e.minute) for e in phase.infections],
+                dtype=np.int64,
+            )
+            ev_dests = person_owner[ev[:, 0]]
+            for dst in range(n_workers):
+                infect_mb.send(dst, ev[ev_dests == dst].ravel())
+        infect_mb.flush()
+        det_i.producer_done()
+        # -- step 4: infect-phase completion ------------------------------
+        det_i.wait_closed(drain_infects, timeout=ctx.timeout, should_abort=check_abort)
+        t2 = time.perf_counter()
+
+        # -- step 5: apply infect messages to owned persons ----------------
+        _maybe_fault(ctx, day, "apply")
+        if recv_events:
+            events = np.concatenate(recv_events).reshape(-1, INFECT_RECORD)
+            recv_events.clear()
+        else:
+            events = np.empty((0, INFECT_RECORD), dtype=np.int64)
+        infected = d.infect(
+            events[:, 0], shared.health_state, shared.days_remaining,
+            shared.treatment, day=day, rng_factory=rngf,
+        )
+        shared.ever_infected[infected] = True
+        t3 = time.perf_counter()
+
+        # -- step 6: report (the driver's reduction) -----------------------
+        ctx.conn.send((
+            "day_done",
+            day,
+            {
+                "transitions": int(transitions.size),
+                "visits_made": int(kept.size),
+                "infected": int(infected.size),
+                "events": [tuple(int(v) for v in row) for row in events],
+                "spans": [
+                    (t0, t1, "person_phase"),
+                    (t1, t2, "location_phase"),
+                    (t2, t3, "apply_phase"),
+                ],
+                "backpressure": int(
+                    visit_mb.backpressure_events + infect_mb.backpressure_events
+                ),
+                "stats": (
+                    (dict(phase.events), dict(phase.interactions))
+                    if ctx.collect_stats
+                    else None
+                ),
+            },
+        ))

@@ -31,12 +31,22 @@ __all__ = [
     "InvariantChecker",
     "InvariantViolation",
     "run_matrix",
+    "run_smp_matrix",
     "OracleReport",
+    "SmpOracleReport",
 ]
 
 
 def __getattr__(name):
-    if name in ("run_matrix", "OracleReport", "Divergence", "CellResult"):
+    if name in (
+        "run_matrix",
+        "OracleReport",
+        "Divergence",
+        "CellResult",
+        "run_smp_matrix",
+        "SmpOracleReport",
+        "SmpCellResult",
+    ):
         from repro.validate import oracle
 
         return getattr(oracle, name)

@@ -50,14 +50,18 @@ __all__ = [
     "DISTRIBUTIONS",
     "SYNC_MODES",
     "DELIVERY_MODES",
+    "SMP_PRESETS",
     "Divergence",
     "CellResult",
     "OracleReport",
     "KernelDiffReport",
+    "SmpCellResult",
+    "SmpOracleReport",
     "sequential_reference",
     "run_cell",
     "run_matrix",
     "run_kernel_differential",
+    "run_smp_matrix",
 ]
 
 DISTRIBUTIONS = ("rr", "gp", "gp-split")
@@ -505,6 +509,152 @@ def run_kernel_differential(
         sim_b.health_state, sim_b.days_remaining,
     )
     return report
+
+
+# ----------------------------------------------------------------------
+# the SMP backend's cells (real processes vs sequential reference)
+# ----------------------------------------------------------------------
+#: Population presets the SMP matrix certifies on: "tiny" is the
+#: generator's default synthetic town; "heavy" the Zipf-popularity
+#: stress graph where one location absorbs a large share of all visits.
+SMP_PRESETS = ("tiny", "heavy")
+
+
+@dataclass
+class SmpCellResult:
+    """Outcome of one (preset, worker-count) SMP cell."""
+
+    preset: str
+    workers: int
+    equal: bool
+    backpressure: int = 0
+    divergence: Divergence | None = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.preset}×w{self.workers}"
+
+
+@dataclass
+class SmpOracleReport:
+    """All cells of one SMP differential run.
+
+    >>> r = SmpOracleReport(cells=[], n_days=4)
+    >>> r.all_equal
+    True
+    """
+
+    cells: list[SmpCellResult]
+    n_days: int
+
+    @property
+    def all_equal(self) -> bool:
+        return all(c.equal for c in self.cells)
+
+    def format(self) -> str:
+        lines = [f"smp differential oracle: {len(self.cells)} cells, {self.n_days} days"]
+        for c in self.cells:
+            status = "exact" if c.equal else "DIVERGED"
+            lines.append(
+                f"  {c.label:<16} {status:>8}  ({c.backpressure} ring stalls)"
+            )
+            if c.divergence is not None:
+                lines.append("    " + c.divergence.format().replace("\n", "\n    "))
+        lines.append(
+            "smp backend bit-identical to the sequential reference"
+            if self.all_equal
+            else "EQUIVALENCE BROKEN — see divergences above"
+        )
+        return "\n".join(lines)
+
+
+def run_smp_matrix(
+    *,
+    workers: tuple[int, ...] = (1, 2, 4),
+    presets: tuple[str, ...] = SMP_PRESETS,
+    n_days: int = 6,
+    seed: int = 0,
+    initial_infections: int = 8,
+    transmissibility: float = 2.0e-4,
+    kernel: str | None = "flat",
+    reference_kernel: str | None = "grouped",
+    tiny_persons: int = 300,
+    heavy_persons: int = 1500,
+    heavy_locations: int = 200,
+    ring_capacity: int = 1024,
+    progress=None,
+) -> SmpOracleReport:
+    """Certify the shared-memory backend against the sequential reference.
+
+    Every cell forks real worker processes
+    (:class:`~repro.smp.SmpSimulator`), runs the scenario, and checks
+    the per-day infection-event sets, the epidemic curve and the final
+    per-person arrays for exact equality — the same three diffs as the
+    simulated-runtime matrix.  A deliberately small ``ring_capacity``
+    keeps the backpressure path exercised.
+
+    >>> report = run_smp_matrix(workers=(2,), presets=("tiny",), n_days=2,
+    ...                         tiny_persons=80)
+    >>> report.all_equal
+    True
+    """
+    from repro.core.transmission import TransmissionModel
+    from repro.smp import SmpSimulator, heavy_tailed_graph
+    from repro.synthpop import PopulationConfig, generate_population
+
+    def graph_for(preset: str):
+        if preset == "tiny":
+            return generate_population(PopulationConfig(n_persons=tiny_persons), seed)
+        if preset == "heavy":
+            return heavy_tailed_graph(
+                n_persons=heavy_persons, n_locations=heavy_locations
+            )
+        raise ValueError(f"unknown preset {preset!r} (expected one of {SMP_PRESETS})")
+
+    def scenario_for(g) -> Scenario:
+        return Scenario(
+            graph=g,
+            n_days=n_days,
+            seed=seed,
+            initial_infections=initial_infections,
+            transmission=TransmissionModel(transmissibility),
+        )
+
+    cells: list[SmpCellResult] = []
+    for preset in presets:
+        g = graph_for(preset)
+        seq_result, seq_events, seq_state, seq_remaining = sequential_reference(
+            scenario_for(g), reference_kernel
+        )
+        for n_workers in workers:
+            sim = SmpSimulator(
+                scenario_for(g), n_workers=n_workers, kernel=kernel,
+                ring_capacity=ring_capacity,
+            )
+            out = sim.run()
+            divergence = (
+                _diff_events(sim.scenario, seq_events, {
+                    d: {(ev.person, ev.location) for ev in evs}
+                    for d, evs in out.infection_log.items()
+                })
+                or _diff_curve(sim.scenario, seq_result.curve, out.result.curve)
+                or _diff_final_state_arrays(
+                    seq_state, seq_remaining,
+                    out.final_health_state, out.final_days_remaining,
+                )
+            )
+            cell = SmpCellResult(
+                preset=preset,
+                workers=n_workers,
+                equal=divergence is None,
+                backpressure=out.backpressure_events,
+                divergence=divergence,
+            )
+            cells.append(cell)
+            if progress is not None:
+                status = "exact" if cell.equal else "DIVERGED"
+                progress(f"{cell.label:<16} {status}")
+    return SmpOracleReport(cells=cells, n_days=n_days)
 
 
 def _diff_final_state_arrays(

@@ -1,0 +1,203 @@
+"""Adversarial interleavings for the CD/QD wave protocols.
+
+Hypothesis drives the dangerous schedule shapes at the detectors:
+
+* **relay traffic** — consumers that produce *new* messages upon
+  consumption, so traffic is still being created long after every
+  original producer announced done (the classic premature-closure
+  trap: the done-count is reached while messages are still multiplying
+  in flight);
+* **skewed timing** — per-entry charge times drawn adversarially, so
+  sends, deliveries and detection waves interleave differently in
+  virtual time on every example.
+
+The soundness property checked is the strong one: *at the instant the
+completion target fires*, every message ever produced has already been
+consumed.  The target snapshots the detector counters when it fires;
+if a wave ever closed the phase with a message in flight, that message
+would be consumed after the snapshot and the final totals would exceed
+it.  Liveness is checked too — the phase must actually close.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.charm import (
+    Chare,
+    CompletionDetector,
+    MachineConfig,
+    QuiescenceDetector,
+    RuntimeSimulator,
+)
+
+
+class Seeder(Chare):
+    """Original producer: sends its plan of (depth, branch) seeds, done."""
+
+    def start(self, payload):
+        plan, charge = payload
+        det = self.runtime._detectors["phase"]
+        self.charge(charge)
+        n = self.runtime.arrays["relay"].n_elements
+        for j, (depth, branch, delay) in enumerate(plan):
+            det.produce()
+            self.send("relay", (self.index * 5 + j) % n, "recv",
+                      (depth, branch, delay), 32)
+        det.producer_done()
+
+
+class Relay(Chare):
+    """Consume, then spawn ``branch`` messages while ``depth`` remains."""
+
+    def __init__(self):
+        self.got = 0
+
+    def recv(self, payload):
+        depth, branch, delay = payload
+        det = self.runtime._detectors["phase"]
+        self.charge(delay)
+        det.consume()
+        self.got += 1
+        if depth > 0:
+            n = self.runtime.arrays["relay"].n_elements
+            for b in range(branch):
+                det.produce()
+                self.send("relay", (self.index + self.got + b) % n, "recv",
+                          (depth - 1, branch, delay), 32)
+
+
+class SnapshotTarget(Chare):
+    """Records the detector counters at the moment completion fires."""
+
+    def __init__(self):
+        self.snapshots = []
+
+    def done(self, _):
+        det = self.runtime._detectors["phase"]
+        self.snapshots.append(
+            (int(det.produced.sum()), int(det.consumed.sum()))
+        )
+
+
+def expected_messages(plans) -> int:
+    total = 0
+    for plan in plans:
+        for depth, branch, _delay in plan:
+            chain = 1
+            generation = 1
+            for _ in range(depth):
+                generation *= branch
+                chain += generation
+            total += chain
+    return total
+
+
+#: One seed message: relay depth, fan-out per hop, per-entry charge.
+seed_msg = st.tuples(
+    st.integers(min_value=0, max_value=2),
+    st.integers(min_value=1, max_value=2),
+    st.sampled_from([1e-7, 1e-6, 3e-6, 1e-5]),
+)
+#: Per-producer plan (possibly empty: a producer with nothing to say).
+plans_strategy = st.lists(
+    st.lists(seed_msg, max_size=4), min_size=1, max_size=5
+)
+
+
+def run_phase(detector_cls, plans, producer_charges):
+    rt = RuntimeSimulator(
+        MachineConfig(n_nodes=2, cores_per_node=4, smp=True, processes_per_node=1)
+    )
+    rt.ensure_pe_agents()
+    n_producers = len(plans)
+    rt.create_array(
+        "seeder", lambda i: Seeder(), np.arange(n_producers) % rt.machine.n_pes
+    )
+    relays = rt.create_array(
+        "relay", lambda i: Relay(), np.arange(7) % rt.machine.n_pes
+    )
+    tgt = rt.create_array("target", lambda i: SnapshotTarget(),
+                          np.zeros(1, dtype=np.int64))
+    det = detector_cls(rt, "phase")
+    det.begin_phase(n_producers, ("target", 0, "done"))
+    for i, plan in enumerate(plans):
+        rt.inject("seeder", i, "start",
+                  (plan, producer_charges[i % len(producer_charges)]))
+    rt.run()
+    delivered = sum(relays.element(i).got for i in range(7))
+    return det, tgt.element(0), delivered
+
+
+@given(
+    plans=plans_strategy,
+    producer_charges=st.lists(
+        st.sampled_from([1e-7, 2e-6, 5e-5]), min_size=1, max_size=3
+    ),
+)
+@settings(max_examples=30, deadline=None)
+def test_cd_never_closes_with_messages_in_flight(plans, producer_charges):
+    det, target, delivered = run_phase(CompletionDetector, plans, producer_charges)
+    total = expected_messages(plans)
+
+    # Liveness: the phase closed, exactly once.
+    assert det.completions == 1
+    assert len(target.snapshots) == 1
+
+    # Soundness: at fire time everything produced had been consumed —
+    # and "everything" was already the final total, i.e. no relay was
+    # still manufacturing traffic after closure.
+    produced_at_fire, consumed_at_fire = target.snapshots[0]
+    assert produced_at_fire == consumed_at_fire == total
+    assert delivered == total
+    assert int(det.produced.sum()) == int(det.consumed.sum()) == total
+
+
+@given(plans=plans_strategy)
+@settings(max_examples=15, deadline=None)
+def test_qd_never_closes_with_messages_in_flight(plans):
+    det, target, delivered = run_phase(QuiescenceDetector, plans, [1e-6])
+    total = expected_messages(plans)
+
+    assert det.completions == 1
+    assert len(target.snapshots) == 1
+    produced_at_fire, consumed_at_fire = target.snapshots[0]
+    assert produced_at_fire == consumed_at_fire == total
+    assert delivered == total
+    # QD's two-identical-clean-waves guard costs at least one extra wave.
+    assert det.waves_run >= 2
+
+
+@given(
+    plans=plans_strategy,
+    producer_charges=st.lists(
+        st.sampled_from([1e-7, 2e-6, 5e-5]), min_size=1, max_size=3
+    ),
+)
+@settings(max_examples=15, deadline=None)
+def test_cd_reused_across_adversarial_phases(plans, producer_charges):
+    """begin_phase must fully re-arm the detector: stale counters or a
+    stale clean-streak from phase 1 must not leak into phase 2."""
+    rt = RuntimeSimulator(
+        MachineConfig(n_nodes=2, cores_per_node=4, smp=True, processes_per_node=1)
+    )
+    rt.ensure_pe_agents()
+    n_producers = len(plans)
+    rt.create_array(
+        "seeder", lambda i: Seeder(), np.arange(n_producers) % rt.machine.n_pes
+    )
+    rt.create_array("relay", lambda i: Relay(), np.arange(7) % rt.machine.n_pes)
+    tgt = rt.create_array("target", lambda i: SnapshotTarget(),
+                          np.zeros(1, dtype=np.int64))
+    det = CompletionDetector(rt, "phase")
+    for phase in range(2):
+        det.begin_phase(n_producers, ("target", 0, "done"))
+        for i, plan in enumerate(plans):
+            rt.inject("seeder", i, "start",
+                      (plan, producer_charges[i % len(producer_charges)]))
+        rt.run()
+    assert det.completions == 2
+    total = expected_messages(plans)
+    for produced_at_fire, consumed_at_fire in tgt.element(0).snapshots:
+        assert produced_at_fire == consumed_at_fire == total

@@ -1,0 +1,30 @@
+"""Fixtures for the shared-memory backend tests.
+
+The autouse leak guard is the teeth behind the "segments are always
+unlinked" contract: any test that leaves a ``repro-smp-*`` segment in
+``/dev/shm`` — success path, crash path, or exception path — fails.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+SHM_DIR = "/dev/shm"
+
+
+def _segments() -> set[str]:
+    if not os.path.isdir(SHM_DIR):  # pragma: no cover - non-Linux
+        return set()
+    return set(glob.glob(os.path.join(SHM_DIR, "repro-smp-*")))
+
+
+@pytest.fixture(autouse=True)
+def no_shm_leaks():
+    """Fail any test that leaks a shared-memory segment."""
+    before = _segments()
+    yield
+    leaked = _segments() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"

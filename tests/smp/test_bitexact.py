@@ -1,0 +1,115 @@
+"""Bit-exactness of the forked backend against the sequential reference.
+
+The whole point of the smp backend: same keyed RNG, same phase
+ordering, therefore the *identical* epidemic — curve, every individual
+infection event, and the final per-person state arrays — regardless of
+how many real processes the population is split across.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Scenario, TransmissionModel
+from repro.core.interventions import parse_intervention_script
+from repro.smp import SmpSimulator, heavy_tailed_graph
+from repro.synthpop import PopulationConfig, generate_population
+from repro.validate.oracle import sequential_reference
+
+
+def assert_bitexact(make_scenario, workers: int, **smp_kwargs) -> None:
+    seq_result, seq_events, seq_state, seq_remaining = sequential_reference(
+        make_scenario()
+    )
+    out = SmpSimulator(make_scenario(), n_workers=workers, **smp_kwargs).run()
+
+    assert out.result.curve == seq_result.curve
+    smp_events = {
+        day: {(e.person, e.location) for e in events}
+        for day, events in out.infection_log.items()
+    }
+    assert smp_events == seq_events
+    np.testing.assert_array_equal(out.final_health_state, seq_state)
+    np.testing.assert_array_equal(out.final_days_remaining, seq_remaining)
+
+
+@pytest.fixture(scope="module")
+def tiny_graph():
+    return generate_population(PopulationConfig(n_persons=300), 21, name="smp-tiny")
+
+
+@pytest.fixture(scope="module")
+def heavy_graph():
+    return heavy_tailed_graph(n_persons=1500, n_locations=200, seed=9)
+
+
+def make_tiny(graph, **overrides):
+    def factory():
+        kwargs = dict(
+            graph=graph, n_days=6, seed=2, initial_infections=8,
+            transmission=TransmissionModel(2e-4),
+        )
+        kwargs.update(overrides)
+        return Scenario(**kwargs)
+
+    return factory
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_tiny_population(tiny_graph, workers):
+    assert_bitexact(make_tiny(tiny_graph), workers)
+
+
+@pytest.mark.slow
+def test_tiny_population_four_workers(tiny_graph):
+    assert_bitexact(make_tiny(tiny_graph), 4)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("workers", [2, 4])
+def test_heavy_tailed_population(heavy_graph, workers):
+    # Zipf location popularity: one location absorbs a big share of
+    # all visits, so the row traffic between workers is maximally
+    # lopsided — the splitLoc-motivating regime.
+    assert_bitexact(
+        make_tiny(heavy_graph, transmission=TransmissionModel(3e-4)), workers
+    )
+
+
+def test_tight_rings_still_exact(tiny_graph):
+    # Force heavy backpressure: rings barely larger than one batch.
+    # Correctness must not depend on ring capacity, only progress does.
+    out_kwargs = dict(ring_capacity=64, batch=16)
+    assert_bitexact(make_tiny(tiny_graph), 2, **out_kwargs)
+
+
+SCRIPT = """
+vaccinate coverage=0.3 day=1 ages=5-18
+close_schools prevalence=0.02 duration=3
+stay_home compliance=0.5
+"""
+
+
+@pytest.mark.parametrize("workers", [2])
+def test_interventions_bitexact(tiny_graph, workers):
+    # Treatments mutate centrally on the driver, triggers fire off
+    # broadcast prevalence — the schedule state must evolve identically
+    # in every forked copy for this to pass.  Trigger state lives in
+    # the schedule, so each run parses a fresh one.
+    def factory():
+        return make_tiny(
+            tiny_graph,
+            interventions=parse_intervention_script(SCRIPT),
+            transmission=TransmissionModel(4e-4),
+        )()
+
+    assert_bitexact(factory, workers)
+
+
+def test_phase_times_cover_every_day(tiny_graph):
+    out = SmpSimulator(make_tiny(tiny_graph)(), n_workers=2).run()
+    assert [pt.day for pt in out.phase_times] == list(range(6))
+    for pt in out.phase_times:
+        assert 0.0 <= pt.person_phase and 0.0 <= pt.location_phase
+        assert pt.total >= pt.person_phase + pt.location_phase
