@@ -1,0 +1,144 @@
+"""Time-per-epidemic of the baseline simulators vs the full model.
+
+The baselines exist as *oracles*, but they are also speed rivals: a
+FastSIR run touches each edge of the ever-infected set once, so it
+should beat the full six-step day loop (flat exposure kernel) by a wide
+margin on the same epidemic.  This bench pins that ratio — if a
+"fast" baseline ever drifts slower than the simulator it is supposed to
+cross-check cheaply, the oracle's economics are broken and the JSON
+shows it.
+
+Measures, on the heavy-tailed preset:
+
+* contact-graph projection (one-off preprocessing, reported separately),
+* mean time per epidemic over seeded replications of FastSIR, Dijkstra
+  and the sequential simulator with the flat kernel.
+
+Results go to ``BENCH_baselines.json`` at the repo root via
+:mod:`benchmarks.emit`.  Runs standalone or under pytest:
+
+    PYTHONPATH=src python benchmarks/bench_baselines.py
+    PYTHONPATH=src REPRO_BENCH_TINY=1 python benchmarks/bench_baselines.py
+
+``REPRO_BENCH_TINY=1`` shrinks the population to smoke-test scale (and
+skips the speed-ratio assertion, which needs full-size work per run).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from emit import emit_result  # noqa: E402
+
+from repro.baselines import SEIRParams, project_contact_graph, run_dijkstra, run_fastsir  # noqa: E402
+from repro.core import Scenario, TransmissionModel  # noqa: E402
+from repro.core.disease import sir_model  # noqa: E402
+from repro.core.simulator import SequentialSimulator  # noqa: E402
+from repro.smp import heavy_tailed_graph  # noqa: E402
+from repro.util.rng import RngFactory, derive_seed  # noqa: E402
+
+TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
+
+N_PERSONS = 400 if TINY else 8_000
+N_LOCATIONS = 60 if TINY else 1_000
+N_DAYS = 4 if TINY else 16
+REPLICATIONS = 2 if TINY else 10
+SEED = 11
+TRANSMISSIBILITY = 1.0e-4
+LATENT, INFECTIOUS = 2, 4
+INDEX_CASES = 5
+#: At full scale FastSIR must beat the flat-kernel day loop by at least
+#: this factor per epidemic, or it is pointless as a cheap oracle.
+MIN_FASTSIR_ADVANTAGE = 5.0
+
+
+def main() -> int:
+    graph = heavy_tailed_graph(n_persons=N_PERSONS, n_locations=N_LOCATIONS)
+    print(f"heavy-tailed preset: {graph.n_persons:,} persons, "
+          f"{graph.n_visits:,} visits, {N_DAYS} days, "
+          f"{REPLICATIONS} replications{' [tiny]' if TINY else ''}")
+
+    t0 = time.perf_counter()
+    contact = project_contact_graph(graph)
+    projection_s = time.perf_counter() - t0
+    contact.validate()
+    print(f"  projection: {contact.n_edges:,} contact edges "
+          f"in {projection_s * 1e3:.1f}ms")
+
+    params = SEIRParams(TRANSMISSIBILITY, LATENT, INFECTIOUS)
+    factory = RngFactory(SEED)
+
+    walls: dict[str, float] = {"projection": projection_s}
+    sizes: dict[str, float] = {}
+
+    for label, runner in (("fastsir", run_fastsir), ("dijkstra", run_dijkstra)):
+        t0 = time.perf_counter()
+        total = 0
+        for rep in range(REPLICATIONS):
+            rng = factory.stream(RngFactory.BASELINE, rep, 0 if label == "fastsir" else 1)
+            total += runner(contact, params, N_DAYS, INDEX_CASES, rng).final_size
+        walls[label] = (time.perf_counter() - t0) / REPLICATIONS
+        sizes[label] = total / REPLICATIONS
+        print(f"  {label:<10} {walls[label] * 1e3:8.2f}ms/epidemic  "
+              f"(mean final size {sizes[label]:.0f})")
+
+    t0 = time.perf_counter()
+    total = 0
+    for rep in range(REPLICATIONS):
+        scenario = Scenario(
+            graph=graph,
+            disease=sir_model(infectious_days=INFECTIOUS, latent_days=LATENT),
+            transmission=TransmissionModel(TRANSMISSIBILITY),
+            n_days=N_DAYS,
+            initial_infections=INDEX_CASES,
+            seed=derive_seed(SEED, RngFactory.BASELINE, rep, 2),
+        )
+        total += SequentialSimulator(scenario, kernel="flat").run().total_infections
+    walls["flat-kernel"] = (time.perf_counter() - t0) / REPLICATIONS
+    sizes["flat-kernel"] = total / REPLICATIONS
+    print(f"  {'flat-kernel':<10} {walls['flat-kernel'] * 1e3:8.2f}ms/epidemic  "
+          f"(mean final size {sizes['flat-kernel']:.0f})")
+
+    speedup = {
+        "fastsir_vs_flat": walls["flat-kernel"] / walls["fastsir"],
+        "dijkstra_vs_flat": walls["flat-kernel"] / walls["dijkstra"],
+    }
+    print(f"speedup vs flat kernel: fastsir {speedup['fastsir_vs_flat']:.1f}x, "
+          f"dijkstra {speedup['dijkstra_vs_flat']:.1f}x")
+
+    path = emit_result(
+        "baselines",
+        params={
+            "n_persons": graph.n_persons,
+            "n_locations": N_LOCATIONS,
+            "n_visits": graph.n_visits,
+            "n_contact_edges": contact.n_edges,
+            "n_days": N_DAYS,
+            "replications": REPLICATIONS,
+            "transmissibility": TRANSMISSIBILITY,
+            "mean_final_size": {k: round(v, 1) for k, v in sizes.items()},
+            "tiny": TINY,
+        },
+        wall_seconds=walls,
+        speedup=speedup,
+    )
+    print(f"wrote {path}")
+
+    if not TINY and speedup["fastsir_vs_flat"] < MIN_FASTSIR_ADVANTAGE:
+        print(f"FAIL: fastsir only {speedup['fastsir_vs_flat']:.1f}x faster than "
+              f"the flat kernel (expected >= {MIN_FASTSIR_ADVANTAGE}x)")
+        return 1
+    return 0
+
+
+def test_baseline_speed():
+    """Pytest entry point for the same measurement."""
+    assert main() == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

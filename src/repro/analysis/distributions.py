@@ -14,7 +14,7 @@ from repro.loadmodel.static import PAPER_STATIC_MODEL, PiecewiseLoadModel
 from repro.synthpop.graph import PersonLocationGraph
 from repro.util.histogram import LogHistogram, log_binned_histogram
 
-__all__ = ["degree_distribution", "load_distribution"]
+__all__ = ["degree_distribution", "load_distribution", "final_size_distribution"]
 
 
 def degree_distribution(
@@ -39,3 +39,18 @@ def load_distribution(
     events = 2.0 * graph.location_visit_counts.astype(np.float64)
     loads = np.asarray(model.evaluate(events), dtype=np.float64) * 1e6
     return log_binned_histogram(loads, bins_per_decade)
+
+
+def final_size_distribution(
+    final_sizes: np.ndarray, bins_per_decade: int = 10
+) -> LogHistogram:
+    """Outbreak final-size histogram across replications, log-binned.
+
+    Used to visualise the critical heavy-tail fingerprint
+    (:mod:`repro.baselines.critical`): near the epidemic threshold the
+    log-log histogram is a straight line of slope ≈ −3/2, while off
+    criticality it collapses to an exponential bump.  Sizes of zero are
+    clamped to 1 so extinct outbreaks stay visible in the first bin.
+    """
+    sizes = np.maximum(np.asarray(final_sizes, dtype=np.float64), 1.0)
+    return log_binned_histogram(sizes, bins_per_decade)

@@ -1,0 +1,73 @@
+"""Independent fast-baseline simulators used as correctness oracles.
+
+The differential oracle in :mod:`repro.validate.oracle` proves the
+runtimes are *self-consistent* — every execution mode reproduces the
+sequential reference bit-for-bit.  It cannot catch a bug baked into the
+reference itself.  This package provides two independent rivals from
+the epidemic-simulation literature, implemented from their papers
+rather than from this repo's model code:
+
+* :mod:`repro.baselines.fastsir` — the FastSIR algorithm
+  (Antulov-Fantulin et al., arXiv:1202.1639): per infectious node, one
+  draw per neighbour decides *whether and when* transmission happens
+  over the whole infectious period, instead of one Bernoulli per
+  contact per day;
+* :mod:`repro.baselines.dijkstra` — the shortest-path transmission-time
+  method (Zorzenon et al., arXiv:2010.02540): sample a geometric
+  transmission delay per edge, keep edges whose delay beats the
+  infectious period, and run Dijkstra from the index cases; a node's
+  infection day is its shortest-path arrival time.
+
+Both run on the person–person contact graph projected from the
+person–location visit graph (:mod:`repro.baselines.projection`) with a
+matched discrete-day SEIR parameterisation
+(:mod:`repro.baselines.model`).  Because the main model's additive
+hazards are probabilistically equivalent to independent per-contact
+Bernoulli trials, both baselines are *distributionally* identical to
+the sequential simulator running :func:`repro.core.disease.sir_model`
+— which is exactly what :func:`repro.validate.external.run_external_oracle`
+checks with KS/Anderson–Darling statistics over seeded replications.
+
+:mod:`repro.baselines.critical` adds the Clancy-style heavy-tail sanity
+check: near the critical transmissibility, outbreak sizes on a
+heavy-tailed contact graph must follow a power law, not a bell curve.
+"""
+
+from repro.baselines.critical import (
+    HeavyTailCheck,
+    critical_transmissibility,
+    heavy_tail_check,
+    mean_offspring,
+)
+from repro.baselines.dijkstra import run_dijkstra
+from repro.baselines.fastsir import run_fastsir
+from repro.baselines.model import BaselineResult, SEIRParams, curve_from_infection_days
+from repro.baselines.projection import ContactGraph, project_contact_graph
+from repro.baselines.stats import (
+    MetricComparison,
+    anderson_darling_statistic,
+    compare_samples,
+    ks_statistic,
+    permutation_pvalue,
+    trajectory_ks_statistic,
+)
+
+__all__ = [
+    "ContactGraph",
+    "project_contact_graph",
+    "SEIRParams",
+    "BaselineResult",
+    "curve_from_infection_days",
+    "run_fastsir",
+    "run_dijkstra",
+    "ks_statistic",
+    "anderson_darling_statistic",
+    "trajectory_ks_statistic",
+    "permutation_pvalue",
+    "compare_samples",
+    "MetricComparison",
+    "mean_offspring",
+    "critical_transmissibility",
+    "heavy_tail_check",
+    "HeavyTailCheck",
+]

@@ -1,0 +1,194 @@
+"""Two-sample distribution comparison: KS, Anderson–Darling, permutation.
+
+The distribution oracle compares *samples* (final sizes, per-day
+prevalences across seeded replications), not trajectories, so it needs
+two-sample tests that are trustworthy on small, heavily tied, discrete
+data.  Asymptotic p-values are wrong in exactly that regime; instead
+every p-value here is a **permutation p-value** driven by a caller
+-supplied keyed generator:
+
+* deterministic — fixed seeds give the same p-value every run, so a
+  passing oracle configuration cannot start flaking in CI;
+* exact under the null up to permutation resolution —
+  ``P(p ≤ α) ≤ α`` holds by construction (the +1 in numerator and
+  denominator), ties included, which
+  ``tests/baselines/test_stats.py`` verifies empirically.
+
+Statistics implemented: the two-sample Kolmogorov–Smirnov sup-distance
+and the tie-adjusted two-sample Anderson–Darling statistic (Scholz &
+Stephens 1987, the midrank ``A²akN`` form) — AD weights the tails the
+KS distance underweights, which is what catches variance-only model
+bugs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ks_statistic",
+    "anderson_darling_statistic",
+    "trajectory_ks_statistic",
+    "permutation_pvalue",
+    "MetricComparison",
+    "compare_samples",
+]
+
+
+def ks_statistic(a: np.ndarray, b: np.ndarray) -> float:
+    """Two-sample KS sup-distance, ties handled exactly.
+
+    >>> round(ks_statistic(np.array([1, 2, 3]), np.array([1, 2, 3])), 6)
+    0.0
+    >>> ks_statistic(np.array([0, 0]), np.array([1, 1]))
+    1.0
+    """
+    a = np.sort(np.asarray(a, dtype=np.float64))
+    b = np.sort(np.asarray(b, dtype=np.float64))
+    if a.size == 0 or b.size == 0:
+        raise ValueError("need non-empty samples")
+    grid = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, grid, side="right") / a.size
+    cdf_b = np.searchsorted(b, grid, side="right") / b.size
+    return float(np.abs(cdf_a - cdf_b).max())
+
+
+def anderson_darling_statistic(a: np.ndarray, b: np.ndarray) -> float:
+    """Two-sample Anderson–Darling ``A²akN`` (midrank / tie-adjusted).
+
+    Scholz & Stephens (1987) eq. 7 specialised to k = 2.  Larger means
+    more divergent; the absolute scale is irrelevant here because
+    p-values come from permutation, not from the asymptotic table.
+
+    >>> a = np.arange(20.0); b = np.arange(20.0)
+    >>> abs(anderson_darling_statistic(a, b)) < 1e-12
+    True
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("need non-empty samples")
+    pooled = np.concatenate([a, b])
+    z, l_j = np.unique(pooled, return_counts=True)
+    n_total = pooled.size
+    if z.size == 1:
+        return 0.0
+    b_j = np.cumsum(l_j)
+    b_aj = b_j - l_j / 2.0
+    denom = b_aj * (n_total - b_aj) - n_total * l_j / 4.0
+    # Guard the (first == last) degenerate bins where denom can hit 0.
+    valid = denom > 0
+    total = 0.0
+    for sample in (a, b):
+        m_j = np.searchsorted(np.sort(sample), z, side="right")
+        l_ij = np.bincount(
+            np.searchsorted(z, sample), minlength=z.size
+        )
+        m_aj = m_j - l_ij / 2.0
+        num = (n_total * m_aj - sample.size * b_aj) ** 2
+        inner = np.where(valid, (l_j / n_total) * num / np.where(valid, denom, 1.0), 0.0)
+        total += inner.sum() / sample.size
+    return float((n_total - 1) / n_total * total)
+
+
+def trajectory_ks_statistic(a: np.ndarray, b: np.ndarray) -> float:
+    """Sup over days of the per-day KS distance between trajectory sets.
+
+    ``a`` and ``b`` are ``(replications, n_days)`` matrices — one row
+    per replication.  Testing the whole trajectory with a single
+    functional statistic keeps the oracle's multiple-testing budget at
+    one test per cell instead of one per day; under the null the rows
+    are exchangeable, so :func:`permutation_pvalue` applies unchanged
+    (2-d shuffling permutes rows).
+
+    >>> a = np.zeros((4, 3)); b = np.zeros((4, 3)); b[:, 2] = 1.0
+    >>> trajectory_ks_statistic(a, b)
+    1.0
+    """
+    a = np.atleast_2d(a)
+    b = np.atleast_2d(b)
+    if a.shape[1] != b.shape[1]:
+        raise ValueError("trajectories must cover the same days")
+    return max(ks_statistic(a[:, d], b[:, d]) for d in range(a.shape[1]))
+
+
+def permutation_pvalue(
+    a: np.ndarray,
+    b: np.ndarray,
+    rng: np.random.Generator,
+    statistic=ks_statistic,
+    n_permutations: int = 200,
+) -> tuple[float, float]:
+    """``(observed statistic, permutation p-value)``.
+
+    The pooled sample is relabelled ``n_permutations`` times; the
+    p-value is ``(1 + #{perm ≥ observed}) / (1 + n_permutations)`` —
+    never zero, and stochastically conservative under the null.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    observed = statistic(a, b)
+    pooled = np.concatenate([a, b])
+    m = len(a)  # rows for (replication, day) matrices, elements for 1-d
+    hits = 0
+    for _ in range(n_permutations):
+        rng.shuffle(pooled)
+        if statistic(pooled[:m], pooled[m:]) >= observed - 1e-12:
+            hits += 1
+    return observed, (1 + hits) / (1 + n_permutations)
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric's two-sample comparison inside an oracle cell."""
+
+    metric: str  # "final-size" | "prevalence"
+    day: int | None
+    ks: float
+    ks_pvalue: float
+    ad: float
+    ad_pvalue: float
+    threshold: float  # per-test level after Bonferroni
+    detail: str = ""
+
+    @property
+    def reject(self) -> bool:
+        return min(self.ks_pvalue, self.ad_pvalue) < self.threshold
+
+    def format(self) -> str:
+        where = f"{self.metric}" + (f" day {self.day}" if self.day is not None else "")
+        line = (
+            f"{where}: KS {self.ks:.3f} (p={self.ks_pvalue:.4f}), "
+            f"AD {self.ad:.2f} (p={self.ad_pvalue:.4f}), "
+            f"level {self.threshold:.2e}"
+        )
+        return line + (f" — {self.detail}" if self.detail else "")
+
+
+def compare_samples(
+    a: np.ndarray,
+    b: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    metric: str,
+    day: int | None = None,
+    threshold: float,
+    n_permutations: int = 200,
+    detail: str = "",
+) -> MetricComparison:
+    """Run KS and AD permutation tests on one sample pair.
+
+    ``threshold`` is the per-test rejection level; it already accounts
+    for the KS/AD pair (the caller halves it), so the comparison
+    rejects iff *either* p-value beats it.
+    """
+    ks, ks_p = permutation_pvalue(a, b, rng, statistic=ks_statistic,
+                                  n_permutations=n_permutations)
+    ad, ad_p = permutation_pvalue(a, b, rng, statistic=anderson_darling_statistic,
+                                  n_permutations=n_permutations)
+    return MetricComparison(
+        metric=metric, day=day, ks=ks, ks_pvalue=ks_p, ad=ad, ad_pvalue=ad_p,
+        threshold=threshold, detail=detail,
+    )

@@ -110,6 +110,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "processes) against the sequential reference")
     v.add_argument("--smp-workers", type=int, nargs="+", default=[1, 2, 4],
                    help="worker counts for the --smp cells")
+    v.add_argument("--external", action="store_true",
+                   help="also run the distribution-level oracle against the "
+                        "independent FastSIR/Dijkstra baselines (with --quick: "
+                        "tiny preset only, fewer replications, no heavy-tail check)")
+    v.add_argument("--replications", type=int, default=30,
+                   help="seeded replications per side for the --external ensembles")
+    v.add_argument("--alpha", type=float, default=0.01,
+                   help="familywise false-positive level of the --external tests")
+    v.add_argument("--external-workers", type=int, default=1,
+                   help="fork workers for the --external model replications "
+                        "(any count is bit-identical)")
 
     f = sub.add_parser(
         "profile",
@@ -383,6 +394,22 @@ def _cmd_validate(args) -> int:
         )
         print(sreport.format())
         ok = ok and sreport.all_equal
+
+    if args.external:
+        from repro.validate.external import run_external_oracle
+
+        ereport = run_external_oracle(
+            presets=("tiny",) if args.quick else ("tiny", "heavy"),
+            n_days=n_days,
+            replications=max(8, args.replications // 3) if args.quick else args.replications,
+            seed=args.seed,
+            alpha=args.alpha,
+            workers=args.external_workers,
+            heavy_tail=not args.quick,
+            progress=lambda line: print("  " + line),
+        )
+        print(ereport.format())
+        ok = ok and ereport.all_equal
 
     if args.golden:
         for case in GOLDEN_CASES:

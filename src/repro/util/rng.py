@@ -118,6 +118,7 @@ class RngFactory:
     ``3``       intervention triggers
     ``4``       partitioner tie-breaking
     ``5``       machine/network jitter
+    ``6``       baseline simulators (FastSIR, Dijkstra replications)
     ==========  =====================================================
     """
 
@@ -128,6 +129,7 @@ class RngFactory:
     INTERVENTION = 3
     PARTITION = 4
     MACHINE = 5
+    BASELINE = 6
 
     def __init__(self, root_seed: int = 0):
         if not isinstance(root_seed, (int, np.integer)):

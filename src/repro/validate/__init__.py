@@ -12,6 +12,10 @@ here:
   scenario through both execution modes across the
   {RR, GP, GP-splitLoc} × {cd, qd} × {direct, aggregated, tram} matrix
   and diffing epi-curves, infection events and final state;
+* :mod:`repro.validate.external` — the distribution-level oracle
+  comparing seeded ensembles of the sequential reference against the
+  independent FastSIR/Dijkstra baselines (``validate --external``),
+  the one check that can catch a bug in the reference itself;
 * :mod:`repro.validate.invariants` — online invariant checks threaded
   through the parallel runtime (``validate=True``);
 * :mod:`repro.validate.golden` — golden-trace capture/replay pinning
@@ -32,8 +36,10 @@ __all__ = [
     "InvariantViolation",
     "run_matrix",
     "run_smp_matrix",
+    "run_external_oracle",
     "OracleReport",
     "SmpOracleReport",
+    "ExternalOracleReport",
 ]
 
 
@@ -50,4 +56,14 @@ def __getattr__(name):
         from repro.validate import oracle
 
         return getattr(oracle, name)
+    if name in (
+        "run_external_oracle",
+        "ExternalOracleReport",
+        "ExternalCellResult",
+        "MUTATIONS",
+        "EXTERNAL_PRESETS",
+    ):
+        from repro.validate import external
+
+        return getattr(external, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

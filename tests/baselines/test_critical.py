@@ -1,0 +1,103 @@
+"""Critical-transmissibility machinery and the heavy-tail fingerprint."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    SEIRParams,
+    critical_transmissibility,
+    heavy_tail_check,
+    mean_offspring,
+    project_contact_graph,
+)
+from repro.smp import heavy_tailed_graph
+from repro.util.rng import RngFactory
+
+from tests.baselines.test_fastsir import chain_graph
+
+
+@pytest.fixture(scope="module")
+def heavy_contact():
+    return project_contact_graph(heavy_tailed_graph(n_persons=800, n_locations=100))
+
+
+class TestMeanOffspring:
+    def test_single_edge_graph_has_zero_offspring(self):
+        # Arriving via the only edge leaves no other edge to transmit on.
+        two = chain_graph(2, weight=100.0)
+        assert mean_offspring(two, SEIRParams(0.01)) == 0.0
+
+    def test_monotone_in_transmissibility(self, heavy_contact):
+        values = [
+            mean_offspring(heavy_contact, SEIRParams(r))
+            for r in (1e-6, 1e-5, 1e-4, 1e-3)
+        ]
+        assert values == sorted(values)
+        assert values[0] > 0.0
+
+    def test_interior_chain_node_offspring(self):
+        # On a 3-chain, arrival at the middle node leaves exactly one
+        # other edge: offspring q; arrival at an end node leaves none.
+        # Directed edges: 0→1 (offspring q), 1→0 (0), 1→2 (0), 2→1 (q)
+        # — mean q/2.
+        chain = chain_graph(3, weight=1.0)
+        params = SEIRParams(0.1, 2, 4)
+        q = 1.0 - (1.0 - 0.1) ** 4
+        assert mean_offspring(chain, params) == pytest.approx(q / 2)
+
+
+class TestCriticalTransmissibility:
+    def test_bisection_lands_on_unit_offspring(self, heavy_contact):
+        r_c = critical_transmissibility(heavy_contact)
+        assert mean_offspring(heavy_contact, SEIRParams(r_c)) == pytest.approx(
+            1.0, abs=1e-3
+        )
+
+    def test_subcritical_graph_raises(self):
+        with pytest.raises(ValueError, match="subcritical"):
+            critical_transmissibility(chain_graph(2, weight=0.5))
+
+
+class TestHeavyTailFingerprint:
+    def test_critical_outbreaks_are_heavy_tailed(self, heavy_contact):
+        check = heavy_tail_check(
+            heavy_contact,
+            rng_factory=RngFactory(0),
+            replications=150,
+            n_days=40,
+        )
+        assert check.passed, check.format()
+        # Near-critical Galton–Watson sizes: exponent near 3/2, strongly
+        # super-Poissonian dispersion.
+        assert 1.1 <= check.tail_exponent <= 3.2
+        assert check.dispersion > 3.0
+        assert check.final_sizes.size == 150
+
+    def test_threshold_separates_regimes(self, heavy_contact):
+        # r_c actually sits at the epidemic threshold: well below it
+        # outbreaks die immediately; well above it the mean final size
+        # is an order of magnitude larger.
+        from repro.baselines import run_fastsir
+
+        r_c = critical_transmissibility(heavy_contact)
+        factory = RngFactory(1)
+
+        def mean_size(r: float, salt: int) -> float:
+            return float(np.mean([
+                run_fastsir(
+                    heavy_contact, SEIRParams(r), 40, 1,
+                    factory.stream(RngFactory.BASELINE, rep, salt),
+                ).final_size
+                for rep in range(60)
+            ]))
+
+        sub, sup = mean_size(r_c / 5.0, 8), mean_size(r_c * 5.0, 9)
+        assert sub < 3.0, f"subcritical outbreaks too large: {sub}"
+        assert sup > 10.0 * sub, f"supercritical not separated: {sup} vs {sub}"
+
+    def test_format_mentions_verdict(self, heavy_contact):
+        check = heavy_tail_check(
+            heavy_contact, rng_factory=RngFactory(0), replications=60, n_days=30,
+        )
+        text = check.format()
+        assert "tail exponent" in text and ("ok" in text or "FAIL" in text)

@@ -1,0 +1,73 @@
+"""Dijkstra baseline: determinism, degenerate regimes, FastSIR agreement.
+
+The saturated-chain test is shared with FastSIR deliberately — with
+probability-one edges both algorithms are deterministic and must agree
+*exactly*, which pins their day-index conventions to each other (the
+stochastic agreement is the distribution oracle's job).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SEIRParams, project_contact_graph, run_dijkstra, run_fastsir
+from repro.util.rng import RngFactory
+
+from tests.baselines.test_fastsir import PARAMS, chain_graph
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self, tiny_graph):
+        contact = project_contact_graph(tiny_graph)
+        runs = [
+            run_dijkstra(contact, PARAMS, 10, 3,
+                         RngFactory(42).stream(RngFactory.BASELINE, 0, 1))
+            for _ in range(2)
+        ]
+        assert np.array_equal(runs[0].infection_day, runs[1].infection_day)
+        assert np.array_equal(runs[0].new_infections, runs[1].new_infections)
+        assert np.array_equal(runs[0].prevalence, runs[1].prevalence)
+
+
+class TestDegenerateRegimes:
+    def test_zero_transmissibility_keeps_only_seeds(self, tiny_graph):
+        contact = project_contact_graph(tiny_graph)
+        result = run_dijkstra(contact, SEIRParams(0.0), 10, 5,
+                              RngFactory(1).stream(RngFactory.BASELINE, 0, 1))
+        assert result.final_size == 5
+        assert result.new_infections[1:].sum() == 0
+
+    def test_curve_accounting(self, tiny_graph):
+        contact = project_contact_graph(tiny_graph)
+        result = run_dijkstra(contact, PARAMS, 12, 4,
+                              RngFactory(9).stream(RngFactory.BASELINE, 0, 1))
+        assert result.final_size == int(result.new_infections.sum())
+        assert np.all(result.prevalence >= 0) and np.all(result.prevalence <= 1)
+
+    def test_n_days_must_be_positive(self):
+        with pytest.raises(ValueError, match="n_days"):
+            run_dijkstra(chain_graph(2), PARAMS, 0, 1,
+                         RngFactory(0).stream(RngFactory.BASELINE, 0, 1))
+
+
+class TestExactTiming:
+    def test_saturated_chain_equals_fastsir_exactly(self):
+        # With probability-one edges both simulators are deterministic:
+        # same infection days, same curve, regardless of their different
+        # RNG consumption patterns.
+        graph = chain_graph(6)
+        params = SEIRParams(0.9, 2, 4)
+        dj = run_dijkstra(graph, params, 12, np.array([0]),
+                          RngFactory(3).stream(RngFactory.BASELINE, 0, 1))
+        fs = run_fastsir(graph, params, 12, np.array([0]),
+                         RngFactory(4).stream(RngFactory.BASELINE, 0, 0))
+        assert np.array_equal(dj.infection_day, fs.infection_day)
+        assert np.array_equal(dj.new_infections, fs.new_infections)
+        assert np.array_equal(dj.prevalence, fs.prevalence)
+        assert dj.infection_day.tolist() == [-1, 1, 3, 5, 7, 9]
+
+    def test_infection_beyond_horizon_is_dropped(self):
+        result = run_dijkstra(chain_graph(8), SEIRParams(0.9, 2, 4), 6,
+                              np.array([0]),
+                              RngFactory(0).stream(RngFactory.BASELINE, 0, 1))
+        assert result.final_size == 4
+        assert np.all(result.infection_day[:4] < 6)

@@ -1,0 +1,111 @@
+"""FastSIR baseline: determinism, degenerate regimes, exact timing.
+
+The deterministic chain tests pin the day-index semantics the
+distribution oracle depends on: index cases behave as infected on day
+−1, an infection on day ``d`` turns infectious on day ``d + L``, and
+``new_infections[0]`` counts the seeds — the exact conventions of the
+sequential reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ContactGraph, SEIRParams, project_contact_graph, run_fastsir
+from repro.util.rng import RngFactory
+
+
+def chain_graph(n: int, weight: float = 1e6) -> ContactGraph:
+    """Path graph 0—1—…—n−1 with saturating edge weights."""
+    indptr = [0]
+    indices: list[int] = []
+    for i in range(n):
+        if i > 0:
+            indices.append(i - 1)
+        if i < n - 1:
+            indices.append(i + 1)
+        indptr.append(len(indices))
+    return ContactGraph(
+        n_persons=n,
+        indptr=np.array(indptr, dtype=np.int64),
+        indices=np.array(indices, dtype=np.int64),
+        weights=np.full(len(indices), weight),
+    )
+
+
+PARAMS = SEIRParams(transmissibility=2e-4, latent_days=2, infectious_days=4)
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self, tiny_graph):
+        contact = project_contact_graph(tiny_graph)
+        runs = [
+            run_fastsir(contact, PARAMS, 10, 3,
+                        RngFactory(42).stream(RngFactory.BASELINE, 0))
+            for _ in range(2)
+        ]
+        assert np.array_equal(runs[0].infection_day, runs[1].infection_day)
+        assert np.array_equal(runs[0].new_infections, runs[1].new_infections)
+        assert np.array_equal(runs[0].prevalence, runs[1].prevalence)
+
+    def test_different_replication_streams_differ(self, tiny_graph):
+        contact = project_contact_graph(tiny_graph)
+        a = run_fastsir(contact, PARAMS, 10, 3,
+                        RngFactory(42).stream(RngFactory.BASELINE, 0))
+        b = run_fastsir(contact, PARAMS, 10, 3,
+                        RngFactory(42).stream(RngFactory.BASELINE, 1))
+        assert not np.array_equal(a.infection_day, b.infection_day)
+
+
+class TestDegenerateRegimes:
+    def test_zero_transmissibility_keeps_only_seeds(self, tiny_graph):
+        contact = project_contact_graph(tiny_graph)
+        result = run_fastsir(contact, SEIRParams(0.0), 10, 5,
+                             RngFactory(1).stream(RngFactory.BASELINE, 0))
+        assert result.final_size == 5
+        assert result.new_infections[0] == 5
+        assert result.new_infections[1:].sum() == 0
+
+    def test_explicit_index_cases_are_respected(self, tiny_graph):
+        contact = project_contact_graph(tiny_graph)
+        cases = np.array([7, 11, 13])
+        result = run_fastsir(contact, SEIRParams(0.0), 6, cases,
+                             RngFactory(1).stream(RngFactory.BASELINE, 0))
+        assert np.all(result.infection_day[cases] == -1)
+        assert result.final_size == 3
+
+    def test_curve_accounting(self, tiny_graph):
+        contact = project_contact_graph(tiny_graph)
+        result = run_fastsir(contact, PARAMS, 12, 4,
+                             RngFactory(9).stream(RngFactory.BASELINE, 0))
+        assert result.final_size == int(result.new_infections.sum())
+        assert result.final_size == int((result.infection_day < 12).sum())
+        assert np.all(result.prevalence >= 0) and np.all(result.prevalence <= 1)
+        assert result.n_days == 12
+
+
+class TestExactTiming:
+    def test_saturated_chain_marches_one_hop_per_infectious_onset(self):
+        # Saturating weights make every transmission happen on the first
+        # infectious day.  Seed at node 0 (day −1) turns infectious on
+        # day L−1 = 1 and infects node 1 that day; node 1 turns
+        # infectious on day 1+L = 3, and so on: infection days −1, 1,
+        # 3, 5, …
+        n = 5
+        result = run_fastsir(chain_graph(n), SEIRParams(0.9, 2, 4), 12,
+                             np.array([0]),
+                             RngFactory(0).stream(RngFactory.BASELINE, 0))
+        expected = np.array([-1, 1, 3, 5, 7])
+        assert np.array_equal(result.infection_day, expected)
+
+    def test_horizon_truncates_the_chain(self):
+        result = run_fastsir(chain_graph(8), SEIRParams(0.9, 2, 4), 6,
+                             np.array([0]),
+                             RngFactory(0).stream(RngFactory.BASELINE, 0))
+        # Infections land on days 1, 3, 5 only; day 7 is past n_days=6.
+        assert result.final_size == 4
+        assert result.new_infections.tolist() == [1, 1, 0, 1, 0, 1]
+
+    def test_n_days_must_be_positive(self):
+        with pytest.raises(ValueError, match="n_days"):
+            run_fastsir(chain_graph(2), PARAMS, 0, 1,
+                        RngFactory(0).stream(RngFactory.BASELINE, 0))

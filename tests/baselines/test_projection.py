@@ -1,0 +1,121 @@
+"""Contact-graph projection: structural invariants and weight conservation.
+
+The hypothesis property is the load-bearing one: for *any* small visit
+graph the strategies generate, the projected contact network must be
+symmetric, self-loop-free, and conserve total co-presence minutes
+against a brute-force enumeration of visit pairs — the three properties
+the baselines' distributional-equivalence argument rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.baselines import ContactGraph, project_contact_graph
+from repro.validate.strategies import visit_graphs
+
+
+def brute_force_pair_minutes(graph) -> float:
+    """Total overlap minutes over unordered distinct-person visit pairs."""
+    total = 0.0
+    v = graph
+    for i in range(v.n_visits):
+        for j in range(i + 1, v.n_visits):
+            if v.visit_person[i] == v.visit_person[j]:
+                continue
+            if v.visit_location[i] != v.visit_location[j]:
+                continue
+            if v.visit_subloc[i] != v.visit_subloc[j]:
+                continue
+            overlap = min(v.visit_end[i], v.visit_end[j]) - max(
+                v.visit_start[i], v.visit_start[j]
+            )
+            if overlap > 0:
+                total += float(overlap)
+    return total
+
+
+class TestProjectionProperties:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(graph=visit_graphs())
+    def test_projection_invariants(self, graph):
+        contact = project_contact_graph(graph)
+        contact.validate()  # symmetry, no self-loops, CSR sanity
+        assert contact.n_persons == graph.n_persons
+        # Weight conservation against the O(V^2) reference.
+        assert contact.total_weight == pytest.approx(
+            brute_force_pair_minutes(graph)
+        )
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(graph=visit_graphs())
+    def test_edge_list_matches_adjacency(self, graph):
+        contact = project_contact_graph(graph)
+        u, v, w = contact.edge_list()
+        assert np.all(u < v)
+        assert u.size == contact.n_edges
+        assert w.sum() == pytest.approx(contact.total_weight)
+        # Every listed edge appears in both endpoints' adjacency.
+        for a, b, weight in zip(u[:20], v[:20], w[:20]):
+            nbr, nw = contact.neighbors(int(a))
+            k = np.flatnonzero(nbr == b)
+            assert k.size == 1 and nw[k[0]] == pytest.approx(weight)
+
+
+class TestProjectionOnPresets:
+    def test_tiny_graph_projects_clean(self, tiny_graph):
+        contact = project_contact_graph(tiny_graph)
+        contact.validate()
+        assert contact.n_edges > 0
+        assert contact.name.endswith("-contact")
+        # Projection is deterministic.
+        again = project_contact_graph(tiny_graph)
+        assert np.array_equal(contact.indptr, again.indptr)
+        assert np.array_equal(contact.indices, again.indices)
+        assert np.array_equal(contact.weights, again.weights)
+
+    def test_empty_visit_graph_projects_to_empty(self, tiny_graph):
+        none = np.empty(0, dtype=np.int64)
+        empty = tiny_graph.with_visits(none, none, none, none, none)
+        contact = project_contact_graph(empty)
+        contact.validate()
+        assert contact.n_edges == 0 and contact.total_weight == 0.0
+
+
+class TestValidateCatchesCorruption:
+    def _chain(self) -> ContactGraph:
+        return ContactGraph(
+            n_persons=3,
+            indptr=np.array([0, 1, 3, 4]),
+            indices=np.array([1, 0, 2, 1]),
+            weights=np.array([5.0, 5.0, 7.0, 7.0]),
+        )
+
+    def test_clean_chain_passes(self):
+        self._chain().validate()
+
+    def test_self_loop_rejected(self):
+        g = self._chain()
+        g.indices[0] = 0
+        with pytest.raises(ValueError, match="self-loop|symmetric"):
+            g.validate()
+
+    def test_asymmetric_weight_rejected(self):
+        g = self._chain()
+        g.weights[1] = 99.0
+        with pytest.raises(ValueError, match="symmetric"):
+            g.validate()
+
+    def test_nonpositive_weight_rejected(self):
+        g = self._chain()
+        g.weights[2] = 0.0
+        with pytest.raises(ValueError, match="positive"):
+            g.validate()
+
+    def test_bad_indptr_rejected(self):
+        g = self._chain()
+        g.indptr[-1] = 99
+        with pytest.raises(ValueError, match="CSR"):
+            g.validate()

@@ -1,0 +1,161 @@
+"""Statistical machinery: correctness, calibration, determinism.
+
+The calibration class is the oracle's own insurance policy: with fixed
+seeds, permutation p-values on same-distribution samples must be
+(super-)uniform, so the false-positive rate at any level alpha stays at
+or below alpha.  If this ever fails, a green external oracle means
+nothing — which is why it is tested empirically here, not assumed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    anderson_darling_statistic,
+    compare_samples,
+    ks_statistic,
+    permutation_pvalue,
+    trajectory_ks_statistic,
+)
+from repro.util.rng import RngFactory
+
+
+class TestKsStatistic:
+    def test_identical_samples_give_zero(self):
+        a = np.array([1.0, 2.0, 2.0, 5.0])
+        assert ks_statistic(a, a.copy()) == 0.0
+
+    def test_disjoint_samples_give_one(self):
+        assert ks_statistic(np.zeros(10), np.ones(10)) == 1.0
+
+    def test_known_value_with_ties(self):
+        # ECDFs: a jumps to 1 at 0; b has 1/2 at 0, 1 at 1.
+        a = np.array([0.0, 0.0])
+        b = np.array([0.0, 1.0])
+        assert ks_statistic(a, b) == pytest.approx(0.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ks_statistic(np.array([]), np.array([1.0]))
+
+
+class TestAndersonDarling:
+    def test_identical_samples_give_zero(self):
+        a = np.arange(10.0)
+        assert anderson_darling_statistic(a, a.copy()) == pytest.approx(0.0, abs=1e-12)
+
+    def test_all_tied_pooled_sample_is_zero(self):
+        assert anderson_darling_statistic(np.zeros(5), np.zeros(7)) == 0.0
+
+    def test_shifted_samples_score_high(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 1, 50)
+        b = rng.normal(2, 1, 50)
+        assert anderson_darling_statistic(a, b) > 10 * anderson_darling_statistic(
+            a, rng.normal(0, 1, 50)
+        )
+
+    def test_tail_sensitivity_beats_ks(self):
+        # Same median, different tails: AD reacts more strongly
+        # (relative to its null scale) than the KS sup-distance.
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 1, 80)
+        b = rng.normal(0, 3, 80)
+        assert anderson_darling_statistic(a, b) > 2.0
+        assert ks_statistic(a, b) < 0.5
+
+
+class TestTrajectoryStatistic:
+    def test_max_over_days(self):
+        a = np.zeros((6, 4))
+        b = np.zeros((6, 4))
+        b[:, 2] = 1.0
+        assert trajectory_ks_statistic(a, b) == 1.0
+
+    def test_day_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same days"):
+            trajectory_ks_statistic(np.zeros((3, 4)), np.zeros((3, 5)))
+
+
+class TestPermutationPvalue:
+    def test_deterministic_for_fixed_stream(self):
+        a = np.random.default_rng(0).poisson(10, 30).astype(float)
+        b = np.random.default_rng(1).poisson(10, 30).astype(float)
+        runs = [
+            permutation_pvalue(a, b, RngFactory(5).stream(RngFactory.BASELINE, 0, 3),
+                               n_permutations=99)
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_never_returns_zero(self):
+        a, b = np.zeros(20), np.ones(20)
+        _stat, p = permutation_pvalue(a, b, np.random.default_rng(0),
+                                      n_permutations=99)
+        assert p == pytest.approx(1 / 100)
+
+    def test_identical_samples_are_not_rejected(self):
+        a = np.arange(20.0)
+        _stat, p = permutation_pvalue(a, a.copy(), np.random.default_rng(0),
+                                      n_permutations=99)
+        assert p == 1.0
+
+
+class TestCalibration:
+    """Empirical false-positive rate under the null, fixed seeds."""
+
+    N_PAIRS = 200
+    ALPHA = 0.05
+
+    def _null_pvalues(self, statistic) -> np.ndarray:
+        factory = RngFactory(77)
+        pvals = np.empty(self.N_PAIRS)
+        for i in range(self.N_PAIRS):
+            data_rng = factory.stream(RngFactory.BASELINE, i, 50)
+            a = data_rng.poisson(8, 25).astype(float)
+            b = data_rng.poisson(8, 25).astype(float)
+            _s, pvals[i] = permutation_pvalue(
+                a, b, factory.stream(RngFactory.BASELINE, i, 51),
+                statistic=statistic, n_permutations=99,
+            )
+        return pvals
+
+    def test_ks_false_positive_rate_bounded(self):
+        pvals = self._null_pvalues(ks_statistic)
+        fpr = float((pvals <= self.ALPHA).mean())
+        # Binomial(200, 0.05) stays below 0.09 with probability > 0.99;
+        # the permutation construction guarantees E[fpr] <= alpha.
+        assert fpr <= 0.09, f"KS false-positive rate {fpr:.3f} at alpha 0.05"
+
+    def test_ad_false_positive_rate_bounded(self):
+        pvals = self._null_pvalues(anderson_darling_statistic)
+        fpr = float((pvals <= self.ALPHA).mean())
+        assert fpr <= 0.09, f"AD false-positive rate {fpr:.3f} at alpha 0.05"
+
+    def test_null_pvalues_not_degenerate(self):
+        # Guards against a broken statistic that always "rejects
+        # nothing": the p-value spread must cover low and high values.
+        pvals = self._null_pvalues(ks_statistic)
+        assert pvals.min() < 0.3 and pvals.max() > 0.7
+
+
+class TestCompareSamples:
+    def test_detects_separated_samples(self):
+        a = np.random.default_rng(0).normal(0, 1, 40)
+        b = np.random.default_rng(1).normal(4, 1, 40)
+        comparison = compare_samples(
+            a, b, np.random.default_rng(2), metric="final-size",
+            threshold=0.01, n_permutations=199,
+        )
+        assert comparison.reject
+        assert "final-size" in comparison.format()
+
+    def test_accepts_same_distribution(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(0, 1, 40)
+        b = rng.normal(0, 1, 40)
+        comparison = compare_samples(
+            a, b, np.random.default_rng(4), metric="final-size",
+            threshold=0.01, n_permutations=199,
+        )
+        assert not comparison.reject

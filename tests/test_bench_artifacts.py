@@ -1,0 +1,97 @@
+"""Benchmark-artifact hygiene: one emitter, one schema.
+
+Every benchmark must publish its headline numbers through
+:func:`benchmarks.emit.emit_result` so the ``BENCH_<name>.json``
+trajectory stays machine-readable.  Two guards:
+
+* every committed ``BENCH_*.json`` follows the emitter's schema, and
+* no benchmark script writes benchmark JSON behind the emitter's back
+  (asserted by AST scan, so a regression cannot hide in a new file).
+"""
+
+import ast
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+SCHEMA_KEYS = {"name", "params", "wall_seconds", "speedup", "git_sha"}
+
+
+def bench_artifacts() -> list[Path]:
+    return sorted(REPO_ROOT.glob("BENCH_*.json"))
+
+
+def bench_scripts() -> list[Path]:
+    return sorted(p for p in BENCH_DIR.glob("*.py") if p.name != "emit.py")
+
+
+class TestArtifactSchema:
+    def test_artifacts_exist(self):
+        assert bench_artifacts(), "no BENCH_*.json committed at the repo root"
+
+    @pytest.mark.parametrize("path", bench_artifacts(), ids=lambda p: p.name)
+    def test_schema(self, path):
+        payload = json.loads(path.read_text())
+        assert set(payload) == SCHEMA_KEYS, (
+            f"{path.name} keys {sorted(payload)} != schema {sorted(SCHEMA_KEYS)}"
+        )
+        assert path.name == f"BENCH_{payload['name']}.json"
+        assert isinstance(payload["params"], dict)
+        assert payload["wall_seconds"], "wall_seconds must be non-empty"
+        for label, seconds in payload["wall_seconds"].items():
+            assert isinstance(label, str)
+            assert isinstance(seconds, (int, float)) and seconds >= 0
+        for label, ratio in payload["speedup"].items():
+            assert isinstance(ratio, (int, float)) and ratio > 0
+
+
+class TestSingleEmitter:
+    @pytest.mark.parametrize("path", bench_scripts(), ids=lambda p: p.name)
+    def test_no_direct_bench_json_writes(self, path):
+        """Benchmarks reach BENCH_*.json only through benchmarks.emit."""
+        tree = ast.parse(path.read_text())
+        offenders: list[str] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                fn = node.func
+                # json.dump / json.dumps calls
+                if (
+                    isinstance(fn, ast.Attribute)
+                    and fn.attr in ("dump", "dumps")
+                    and isinstance(fn.value, ast.Name)
+                    and fn.value.id == "json"
+                ):
+                    offenders.append(f"line {node.lineno}: json.{fn.attr}(...)")
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                if node.value.startswith("BENCH_"):
+                    offenders.append(f"line {node.lineno}: literal {node.value!r}")
+        assert not offenders, (
+            f"{path.name} bypasses benchmarks.emit: " + "; ".join(offenders)
+        )
+
+    def test_json_emitting_benches_route_through_emitter(self):
+        # Figure benches write plain-text results via conftest; any
+        # bench touching JSON at all must do it through emit_result.
+        for path in bench_scripts():
+            text = path.read_text()
+            if "json" in text:
+                assert "emit_result" in text, (
+                    f"{path.name} handles JSON without benchmarks.emit"
+                )
+
+    def test_no_import_of_json_module_outside_emitter(self):
+        for path in bench_scripts():
+            tree = ast.parse(path.read_text())
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Import):
+                    assert not any(a.name == "json" for a in node.names), (
+                        f"{path.name} imports json directly; use benchmarks.emit"
+                    )
+                if isinstance(node, ast.ImportFrom):
+                    assert node.module != "json", (
+                        f"{path.name} imports from json; use benchmarks.emit"
+                    )
