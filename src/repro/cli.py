@@ -68,7 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--seed", type=int, default=0)
     r.add_argument("--index-cases", type=int, default=10)
     r.add_argument("--transmissibility", type=float, default=2e-4)
-    r.add_argument("--kernel", choices=["flat", "grouped"], default=None)
+    r.add_argument(
+        "--kernel", choices=["flat", "grouped", "compiled"], default=None
+    )
 
     q = sub.add_parser("partition", help="partition a population, report quality")
     q.add_argument("population", help=".npz path")
@@ -99,11 +101,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also replay the recorded golden traces")
     v.add_argument("--refresh-golden", action="store_true",
                    help="re-record the golden traces instead of running the matrix")
-    v.add_argument("--kernel", choices=["flat", "grouped"], default="flat",
+    v.add_argument("--kernel", choices=["flat", "grouped", "compiled"],
+                   default="flat",
                    help="exposure kernel for the parallel cells (the sequential "
                         "reference always runs 'grouped')")
     v.add_argument("--diff-kernels", action="store_true",
-                   help="also run the grouped-vs-flat kernel differential "
+                   help="also run the kernel differentials — grouped-vs-flat, "
+                        "plus flat-vs-compiled when a C toolchain is present "
                         "(ordered events, minutes, curve, final state)")
     v.add_argument("--smp", action="store_true",
                    help="also certify the shared-memory backend (real worker "
@@ -381,6 +385,20 @@ def _cmd_validate(args) -> int:
         kreport = run_kernel_differential(graph, n_days=n_days, seed=args.seed)
         print(kreport.format())
         ok = ok and kreport.equal
+        from repro.core import ckernel
+
+        if ckernel.available():
+            creport = run_kernel_differential(
+                graph, n_days=n_days, seed=args.seed,
+                kernel_a="flat", kernel_b="compiled",
+            )
+            print(creport.format())
+            ok = ok and creport.equal
+        else:
+            print(
+                "kernel differential flat-vs-compiled: SKIPPED "
+                f"(no C toolchain: {ckernel.build_error()})"
+            )
 
     if args.smp:
         from repro.validate.oracle import run_smp_matrix

@@ -7,7 +7,7 @@ delegate the location phase (paper step 3) to
 locations are grouped into LocationManagers — the property that makes
 the parallel execution reproduce the sequential one exactly.
 
-Two interchangeable kernels implement the phase:
+Three interchangeable kernels implement the phase:
 
 * ``"flat"`` (default) — one global sort of the day's candidate visits
   by ``(location, sublocation)``, sublocation-blocked pair enumeration
@@ -18,13 +18,20 @@ Two interchangeable kernels implement the phase:
 * ``"grouped"`` — the reference formulation: a Python loop over
   locations, a per-location S×I cross product masked by sublocation
   after materialisation, and one keyed ``Generator`` per exposed
-  person.
+  person;
+* ``"compiled"`` — the flat kernel's candidate filter and sort, with
+  the pair enumeration + hazard reduction replaced by one streaming C
+  loop (:mod:`repro.core.ckernel`, built on demand via ``ctypes``)
+  that never materialises a per-pair array.  Only usable when
+  :func:`repro.core.ckernel.available` — no C toolchain means callers
+  fall back to the pure-numpy kernels.
 
-Both kernels produce bit-identical results — same infection events in
+All kernels produce bit-identical results — same infection events in
 the same order, same statistics — which ``repro validate
 --diff-kernels`` and the differential oracle certify; ``"flat"`` is
-simply much faster on heavy-tailed populations (see
-``benchmarks/bench_exposure_kernel.py``).
+much faster than ``"grouped"`` on heavy-tailed populations (see
+``benchmarks/bench_exposure_kernel.py``) and ``"compiled"`` beats
+``"flat"`` again by skipping the pair materialisation entirely.
 """
 
 from __future__ import annotations
@@ -48,8 +55,9 @@ __all__ = [
     "compute_infections",
 ]
 
-#: Available exposure kernels (see module docstring).
-KERNELS = ("flat", "grouped")
+#: Available exposure kernels (see module docstring).  ``"compiled"``
+#: additionally needs a C toolchain (``repro.core.ckernel.available``).
+KERNELS = ("flat", "grouped", "compiled")
 DEFAULT_KERNEL = "flat"
 
 
@@ -172,7 +180,11 @@ def _compute_infections(
     if not cand.any():
         return result
 
-    impl = _flat_kernel if kernel == "flat" else _grouped_kernel
+    impl = {
+        "flat": _flat_kernel,
+        "grouped": _grouped_kernel,
+        "compiled": _compiled_kernel,
+    }[kernel]
     impl(
         result, cand, vp, vl, vs, vstart, vend, states, sus_mask, inf_mask,
         graph, disease, transmission, day, rng_factory, collect_stats,
@@ -235,6 +247,120 @@ def _flat_kernel(
     probs = transmission.probability(total_h)
     locs = uniq_key // graph.n_persons
     persons = uniq_key - locs * graph.n_persons
+    u = rng_factory.keyed_uniforms(RngFactory.LOCATION, day, locs, persons)
+    for j in np.flatnonzero(u < probs):
+        result.infections.append(
+            InfectionEvent(
+                person=int(persons[j]), location=int(locs[j]), minute=int(first_minute[j])
+            )
+        )
+
+
+def _compiled_kernel(
+    result: LocationPhaseResult,
+    cand: np.ndarray,
+    vp: np.ndarray,
+    vl: np.ndarray,
+    vs: np.ndarray,
+    vstart: np.ndarray,
+    vend: np.ndarray,
+    states: np.ndarray,
+    sus_mask: np.ndarray,
+    inf_mask: np.ndarray,
+    graph,
+    disease: DiseaseModel,
+    transmission: TransmissionModel,
+    day: int,
+    rng_factory: RngFactory,
+    collect_stats: bool,
+) -> None:
+    """Flat kernel with the pair stage in C (:mod:`repro.core.ckernel`).
+
+    Bit-identical to ``"flat"``: the C loop adds the same doubles in
+    the same order ``np.bincount`` would over the sorted pair array,
+    and every transcendental (``log1p`` via the per-state hazard
+    table, ``expm1`` in ``probability``, the keyed uniforms) still runs
+    through the exact numpy code paths of the other kernels.
+    """
+    from repro.core import ckernel
+
+    idx = np.flatnonzero(cand)
+    # Candidate rows are all epidemiologically relevant (sus | inf), so
+    # blocked_pairwise_exposures' `relevant` filter is the identity
+    # here and the (location, sublocation) lexsort covers every row.
+    loc = np.ascontiguousarray(vl[idx], dtype=np.int64)
+    sub = np.ascontiguousarray(vs[idx], dtype=np.int64)
+    start = np.ascontiguousarray(vstart[idx], dtype=np.int64)
+    end = np.ascontiguousarray(vend[idx], dtype=np.int64)
+    state = np.ascontiguousarray(states[idx], dtype=np.int64)
+    sus = np.ascontiguousarray(sus_mask[idx], dtype=np.uint8)
+    inf = inf_mask[idx]
+    n = idx.size
+
+    order = np.lexsort((sub, loc))  # sorted position -> candidate row
+    loc_s, sub_s = loc[order], sub[order]
+    new_block = np.empty(n, dtype=bool)
+    new_block[0] = True
+    np.not_equal(loc_s[1:], loc_s[:-1], out=new_block[1:])
+    new_block[1:] |= sub_s[1:] != sub_s[:-1]
+    block_id_sorted = np.cumsum(new_block) - 1
+    n_blocks = int(block_id_sorted[-1]) + 1
+    row_block = np.empty(n, dtype=np.int64)
+    row_block[order] = block_id_sorted
+
+    # Infectious candidate rows in sorted-position order, segmented by
+    # block — the partner iteration order of the flat enumeration.
+    inf_sorted = inf[order]
+    inf_rows = np.ascontiguousarray(order[inf_sorted], dtype=np.int64)
+    ni = np.bincount(block_id_sorted[inf_sorted], minlength=n_blocks)
+    inf_off = np.zeros(n_blocks + 1, dtype=np.int64)
+    np.cumsum(ni, out=inf_off[1:])
+
+    # One accumulator slot per distinct (location, person) key over the
+    # candidate rows — a superset of the flat kernel's pair-derived key
+    # set, compacted to the touched slots below.  np.unique sorts, so
+    # surviving slots align with the flat kernel's uniq_key order.
+    key = loc * np.int64(graph.n_persons) + vp[idx]
+    uniq_key, slot = np.unique(key, return_inverse=True)
+    slot = np.ascontiguousarray(slot, dtype=np.int64)
+
+    # Per (infectious state, susceptible state) hazard of one overlap
+    # minute, computed by the same TransmissionModel call (same clip,
+    # same log1p inputs) the flat kernel makes per pair.
+    n_states = len(disease.states)
+    haz_table = np.ascontiguousarray(
+        transmission.hazard(
+            1.0,
+            np.repeat(disease.infectivity, n_states),
+            np.tile(disease.susceptibility, n_states),
+        ),
+        dtype=np.float64,
+    )
+
+    total_h = np.zeros(uniq_key.size, dtype=np.float64)
+    first_minute = np.full(uniq_key.size, np.iinfo(np.int64).max, dtype=np.int64)
+    pair_count = np.zeros(uniq_key.size, dtype=np.int64)
+    pairs = ckernel.accumulate_exposures(
+        start, end, state, sus, slot, row_block, inf_rows, inf_off,
+        haz_table, n_states, total_h, first_minute, pair_count,
+    )
+    if pairs == 0:
+        return
+    touched = pair_count > 0
+    uniq_key, total_h = uniq_key[touched], total_h[touched]
+    first_minute = first_minute[touched]
+
+    locs = uniq_key // graph.n_persons
+    persons = uniq_key - locs * graph.n_persons
+    if collect_stats:
+        pair_locs, inv_loc = np.unique(locs, return_inverse=True)
+        per_loc = np.bincount(
+            inv_loc, weights=pair_count[touched], minlength=pair_locs.size
+        )
+        result.interactions.update(
+            {int(l): int(c) for l, c in zip(pair_locs, per_loc)}
+        )
+    probs = transmission.probability(total_h)
     u = rng_factory.keyed_uniforms(RngFactory.LOCATION, day, locs, persons)
     for j in np.flatnonzero(u < probs):
         result.infections.append(

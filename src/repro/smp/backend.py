@@ -25,11 +25,19 @@ them to an active :mod:`repro.observe` observer as per-PE tracks, so
 the existing Chrome-trace / utilization exporters render *measured*
 timelines of real PEs.
 
-Failure handling: a worker death is detected by the driver's poll
-loop, which raises the shared abort flag (peers spinning in a
-completion wait exit cleanly instead of hanging) and raises
-:class:`SmpWorkerError`; the shared-memory arena is unlinked on every
-exit path.
+The day barrier itself is cheap by construction: commands and reports
+cross the pipes as fixed-layout struct-packed bytes
+(:mod:`repro.smp.protocol` — no pickling, no per-event tuples), and
+the driver parks in one :func:`multiprocessing.connection.wait` over
+*all* worker pipes instead of polling each one on a fixed tick, so
+barrier cost no longer scales with the worker count.
+
+Failure handling: a worker death is detected by the driver's wait
+loop (a dead worker's pipe reads as EOF, and liveness is re-checked on
+every wait timeout), which raises the shared abort flag (peers
+spinning in a completion wait exit cleanly instead of hanging) and
+raises :class:`SmpWorkerError`; the shared-memory arena is unlinked on
+every exit path.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _conn_wait
 
 import numpy as np
 
@@ -47,6 +56,7 @@ from repro.core.metrics import EpiCurve, state_histogram
 from repro.core.scenario import Scenario
 from repro.core.simulator import DayResult, SimulationResult
 from repro.partition.quality import BipartitePartition
+from repro.smp import protocol
 from repro.smp.layout import SmpPlan, block_partition, build_shared_state
 from repro.smp.worker import WorkerContext, worker_main
 
@@ -95,6 +105,9 @@ class SmpResult:
     final_days_remaining: np.ndarray | None = None
     #: total ring-full stalls across workers and days
     backpressure_events: int = 0
+    #: total bytes crossing the day-barrier pipes (both directions) —
+    #: the regression tests hold this to the struct-layout budget
+    wire_bytes: int = 0
 
 
 class SmpSimulator:
@@ -115,10 +128,14 @@ class SmpSimulator:
         :func:`~repro.smp.layout.block_partition`.
     kernel:
         Exposure kernel forwarded to
-        :func:`~repro.core.exposure.compute_infections`.
-    ring_capacity / batch:
+        :func:`~repro.core.exposure.compute_infections`.  The
+        ``"compiled"`` kernel is pre-built in the driver so the forked
+        workers inherit the loaded library.
+    ring_capacity / batch / burst_bytes:
         Mailbox geometry: words per SPSC ring and TRAM aggregation
-        burst size.
+        burst budget.  ``burst_bytes`` sizes bursts uniformly across
+        record widths; ``batch`` (words) is the legacy spelling
+        (``batch * 8`` bytes).
     timeout:
         Per-phase completion deadline inside workers (a hang breaker;
         generous because CI machines can be one-core).
@@ -131,7 +148,8 @@ class SmpSimulator:
         partition: BipartitePartition | None = None,
         kernel: str | None = None,
         ring_capacity: int = 8192,
-        batch: int = 256,
+        batch: int | None = None,
+        burst_bytes: int | None = None,
         collect_location_stats: bool = False,
         timeout: float | None = 120.0,
         _fault: dict | None = None,
@@ -145,14 +163,27 @@ class SmpSimulator:
             raise ValueError(
                 f"partition has k={partition.k} but n_workers={n_workers}"
             )
-        if ring_capacity < batch:
-            raise ValueError("ring_capacity must be >= batch")
+        if batch is not None and burst_bytes is not None:
+            raise ValueError("give batch (words) or burst_bytes, not both")
+        if burst_bytes is None:
+            burst_bytes = 2048 if batch is None else batch * 8
+        if ring_capacity * 8 < burst_bytes:
+            raise ValueError("ring_capacity must hold at least one burst")
+        if kernel == "compiled":
+            # Build/load before forking so every worker inherits the
+            # mapping instead of racing the first compile.
+            from repro.core import ckernel
+
+            if not ckernel.available():
+                raise RuntimeError(
+                    f"compiled kernel unavailable: {ckernel.build_error()}"
+                )
         self.scenario = scenario
         self.n_workers = n_workers
         self.plan = SmpPlan.from_partition(g, partition)
         self.kernel = kernel
         self.ring_capacity = ring_capacity
-        self.batch = batch
+        self.burst_bytes = burst_bytes
         self.collect_location_stats = collect_location_stats
         self.timeout = timeout
         self._fault = _fault
@@ -195,7 +226,8 @@ class SmpSimulator:
                 parent, child = mp.Pipe()
                 ctx = WorkerContext(
                     rank=rank, scenario=sc, shared=shared, plan=self.plan,
-                    conn=child, kernel=self.kernel, batch=self.batch,
+                    conn=child, kernel=self.kernel,
+                    burst_bytes=self.burst_bytes,
                     collect_stats=self.collect_location_stats,
                     timeout=self.timeout, fault=self._fault,
                 )
@@ -229,10 +261,14 @@ class SmpSimulator:
                 # Workers are parked on their pipes; counters are quiet.
                 shared.visit_counters[:] = 0
                 shared.infect_counters[:] = 0
+                kick = protocol.encode_day(day, prevalence, ctx.cumulative_attack)
                 for conn in parent_conns:
-                    conn.send(("day", day, prevalence, ctx.cumulative_attack))
+                    conn.send_bytes(kick)
+                out.wire_bytes += len(kick) * len(parent_conns)
 
-                reports = self._collect_reports(procs, parent_conns, shared, day)
+                reports = self._collect_reports(
+                    procs, parent_conns, shared, day, out
+                )
                 self._ingest_day(
                     out, day, day_start, t_origin, reports,
                     seeded if day == 0 else 0, shared,
@@ -244,8 +280,9 @@ class SmpSimulator:
             out.final_health_state = shared.health_state.copy()
             out.final_days_remaining = shared.days_remaining.copy()
             out.wall_seconds = time.perf_counter() - t_origin
+            stop = protocol.encode_stop()
             for conn in parent_conns:
-                conn.send(("stop",))
+                conn.send_bytes(stop)
             return out
         finally:
             shared.abort[0] = 1
@@ -271,39 +308,47 @@ class SmpSimulator:
         shared.ever_infected[infected] = True
         return int(infected.size)
 
-    def _collect_reports(self, procs, conns, shared, day) -> list[dict]:
+    def _collect_reports(
+        self, procs, conns, shared, day, out: SmpResult
+    ) -> list[protocol.DayReport]:
         """The day barrier: one ``day_done`` from every worker.
 
-        Polls pipes and liveness together so a dead worker aborts the
-        run (and unsticks its spinning peers) instead of hanging it.
+        Parks in a single :func:`multiprocessing.connection.wait` over
+        every still-pending pipe (no per-worker polling tick) and
+        re-checks liveness on each wait timeout, so a dead worker
+        aborts the run — and unsticks its spinning peers via the
+        shared abort flag — instead of hanging it.
         """
-        reports: list[dict | None] = [None] * len(procs)
-        while any(r is None for r in reports):
-            progress = False
-            for rank, conn in enumerate(conns):
-                if reports[rank] is not None:
-                    continue
-                if conn.poll(0.002):
-                    try:
-                        msg = conn.recv()
-                    except EOFError:
-                        # A dead worker's pipe reads as EOF: same abort
-                        # path as seeing the process gone below.
-                        shared.abort[0] = 1
-                        procs[rank].join(timeout=5.0)
-                        raise SmpWorkerError(
-                            f"worker {rank} died on day {day} "
-                            f"(exit code {procs[rank].exitcode}) before reporting"
-                        ) from None
-                    if msg[0] == "error":
-                        shared.abort[0] = 1
-                        raise SmpWorkerError(
-                            f"worker {rank} failed on day {day}: {msg[1]}\n{msg[2]}"
-                        )
-                    assert msg[0] == "day_done" and msg[1] == day
-                    reports[rank] = msg[2]
-                    progress = True
-            if progress:
+        rank_of = {id(conn): rank for rank, conn in enumerate(conns)}
+        pending = list(conns)
+        reports: list[protocol.DayReport | None] = [None] * len(procs)
+        while pending:
+            ready = _conn_wait(pending, timeout=0.05)
+            for conn in ready:
+                rank = rank_of[id(conn)]
+                try:
+                    buf = conn.recv_bytes()
+                except EOFError:
+                    # A dead worker's pipe reads as EOF: same abort
+                    # path as seeing the process gone below.
+                    shared.abort[0] = 1
+                    procs[rank].join(timeout=5.0)
+                    raise SmpWorkerError(
+                        f"worker {rank} died on day {day} "
+                        f"(exit code {procs[rank].exitcode}) before reporting"
+                    ) from None
+                if protocol.opcode(buf) == protocol.OP_ERROR:
+                    shared.abort[0] = 1
+                    exc, tb = protocol.decode_error(buf)
+                    raise SmpWorkerError(
+                        f"worker {rank} failed on day {day}: {exc}\n{tb}"
+                    )
+                r = protocol.decode_report(buf)
+                assert r.day == day
+                out.wire_bytes += len(buf)
+                reports[rank] = r
+                pending.remove(conn)
+            if ready:
                 continue
             for rank, p in enumerate(procs):
                 if reports[rank] is None and not p.is_alive():
@@ -317,35 +362,43 @@ class SmpSimulator:
     def _ingest_day(
         self, out: SmpResult, day, day_start, t_origin, reports, seeded, shared
     ) -> None:
-        sc = self.scenario
-        new_infections = sum(r["infected"] for r in reports) + seeded
+        new_infections = sum(r.infected for r in reports) + seeded
         prevalence = self._prevalence(shared.health_state, shared.ever_infected)
         day_result = DayResult(
             day=day,
-            visits_made=sum(r["visits_made"] for r in reports),
+            visits_made=sum(r.visits_made for r in reports),
             new_infections=new_infections,
-            transitions=sum(r["transitions"] for r in reports),
+            transitions=sum(r.transitions for r in reports),
             prevalence=prevalence,
         )
         out.result.days.append(day_result)
         out.result.curve.record_day(new_infections, prevalence)
         out.infection_log[day] = [
-            InfectionEvent(person=p, location=loc, minute=m)
+            InfectionEvent(person=int(p), location=int(loc), minute=int(m))
             for r in reports
-            for (p, loc, m) in r["events"]
+            for (p, loc, m) in r.events.tolist()
         ]
-        out.backpressure_events += sum(r["backpressure"] for r in reports)
+        out.backpressure_events += sum(r.backpressure for r in reports)
         if self.collect_location_stats:
             for r in reports:
-                events, interactions = r["stats"]
-                out.result.location_events.update(events)
-                out.result.location_interactions.update(interactions)
+                for pairs, counter in (
+                    (r.stats_events, out.result.location_events),
+                    (r.stats_interactions, out.result.location_interactions),
+                ):
+                    if pairs is not None:
+                        keys, counts = pairs
+                        counter.update(dict(zip(keys.tolist(), counts.tolist())))
 
         obs = observe.active()
         boundaries = {"person_phase": [], "location_phase": [], "apply_phase": []}
         for rank, r in enumerate(reports):
-            for t0, t1, name in r["spans"]:
-                start, end = t0 - t_origin, t1 - t_origin
+            t0, t1, t2, t3 = r.clocks
+            for a, b, name in (
+                (t0, t1, "person_phase"),
+                (t1, t2, "location_phase"),
+                (t2, t3, "apply_phase"),
+            ):
+                start, end = a - t_origin, b - t_origin
                 boundaries[name].append(end)
                 if obs is not None:
                     obs.add_virtual_span(rank, start, end, f"pe.{name}")

@@ -40,6 +40,8 @@ import time
 
 import numpy as np
 
+from repro.smp.backoff import Backoff
+
 __all__ = ["ShmPhaseDetector", "PhaseTimeout"]
 
 
@@ -102,17 +104,22 @@ class ShmPhaseDetector:
 
         ``drain`` must make progress on this worker's inbox (bumping
         :meth:`consume`) and return a truthy value when it consumed
-        anything — unproductive laps back off with a tiny sleep so
-        spinning peers don't starve each other on oversubscribed
-        machines.  ``should_abort`` may raise to break out when the run
-        is being torn down (e.g. a peer died).
+        anything — unproductive laps back off *exponentially*
+        (:class:`~repro.smp.backoff.Backoff`: a few ``sched_yield``
+        laps, then sleeps doubling to 1 ms) so waiters hand the core to
+        the workers still producing instead of starving them on
+        oversubscribed machines.  ``should_abort`` may raise to break
+        out when the run is being torn down (e.g. a peer died).
         """
         deadline = None if timeout is None else time.monotonic() + timeout
+        backoff = Backoff()
         while not self.closed():
             if should_abort is not None:
                 should_abort()
-            if not drain():
-                time.sleep(5e-5)
+            if drain():
+                backoff.reset()
+            else:
+                backoff.pause()
             if deadline is not None and time.monotonic() > deadline:
                 raise PhaseTimeout(
                     f"worker {self.rank}: phase did not close within "

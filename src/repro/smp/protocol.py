@@ -1,0 +1,216 @@
+"""Fixed-layout wire protocol for the SMP day barrier (no pickle).
+
+The per-day driver↔worker pipe traffic used to be pickled tuples whose
+``day_done`` payload embedded a Python list of per-event tuples —
+O(events) tuple boxing, pickling and unpickling on *every* day of
+*every* worker, a measurable share of the SMP slowdown
+(``BENCH_smp.json`` before the fix).  This module replaces it with
+struct-packed bytes over ``Connection.send_bytes``/``recv_bytes``:
+
+* **downlink** (driver → worker): one fixed 32-byte command —
+  ``(opcode, day, prevalence, cumulative_attack)`` — for both the
+  day kick-off and the stop signal;
+* **uplink** (worker → driver): a fixed 120-byte ``day_done`` header
+  (counts + the four phase-boundary clocks) followed by the raw int64
+  bytes of the applied infect-event records and, when location stats
+  are collected, their ``(key, count)`` pair arrays.  Arrays cross the
+  pipe as ``ndarray.tobytes()`` / ``np.frombuffer`` — a length-prefixed
+  memcpy, never a pickle;
+* **errors**: opcode + two UTF-8 length-prefixed strings.
+
+Every message size is an explicit function of its counts
+(:func:`report_nbytes`), which is what lets the regression tests put a
+hard bytes-on-the-wire budget on the day barrier.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "OP_DAY",
+    "OP_STOP",
+    "OP_DAY_DONE",
+    "OP_ERROR",
+    "COMMAND_NBYTES",
+    "REPORT_HEADER_NBYTES",
+    "DayReport",
+    "encode_day",
+    "encode_stop",
+    "decode_command",
+    "encode_report",
+    "decode_report",
+    "encode_error",
+    "decode_error",
+    "opcode",
+    "report_nbytes",
+]
+
+OP_DAY = 0
+OP_STOP = 1
+OP_DAY_DONE = 2
+OP_ERROR = 3
+
+#: driver → worker: opcode, day, prevalence, cumulative_attack
+_COMMAND = struct.Struct("<qqdd")
+COMMAND_NBYTES = _COMMAND.size  # 32
+
+#: worker → driver header: opcode, day, transitions, visits_made,
+#: infected, backpressure, n_events, n_stats_events, n_stats_inter,
+#: then the four phase-boundary perf_counter clocks t0..t3
+_REPORT = struct.Struct("<qqqqqqqqqdddd")
+REPORT_HEADER_NBYTES = _REPORT.size  # 104
+
+_EVENT_WORDS = 3  # (person, location, minute)
+_WORD = 8
+
+_STOP_BYTES = _COMMAND.pack(OP_STOP, 0, 0.0, 0.0)
+
+
+@dataclass
+class DayReport:
+    """One worker's decoded ``day_done`` message."""
+
+    day: int
+    transitions: int
+    visits_made: int
+    infected: int
+    backpressure: int
+    #: phase-boundary clocks (perf_counter): start, visits done,
+    #: locations done, day done
+    clocks: tuple[float, float, float, float]
+    #: applied infect events, one ``(person, location, minute)`` row each
+    events: np.ndarray
+    #: ``(location_key, count)`` arrays when stats were collected
+    stats_events: tuple[np.ndarray, np.ndarray] | None = None
+    stats_interactions: tuple[np.ndarray, np.ndarray] | None = None
+
+
+def encode_day(day: int, prevalence: float, cumulative_attack: float) -> bytes:
+    """The driver's day kick-off (fixed :data:`COMMAND_NBYTES` bytes).
+
+    >>> decode_command(encode_day(3, 0.25, 0.5))
+    (0, 3, 0.25, 0.5)
+    """
+    return _COMMAND.pack(OP_DAY, day, prevalence, cumulative_attack)
+
+
+def encode_stop() -> bytes:
+    """The driver's shutdown signal (same fixed layout).
+
+    >>> decode_command(encode_stop())[0] == OP_STOP
+    True
+    """
+    return _STOP_BYTES
+
+
+def decode_command(buf: bytes) -> tuple[int, int, float, float]:
+    """Decode a downlink command into ``(opcode, day, prevalence, attack)``."""
+    return _COMMAND.unpack(buf)
+
+
+def report_nbytes(
+    n_events: int, n_stats_events: int = 0, n_stats_inter: int = 0
+) -> int:
+    """Exact uplink size for the given counts — the wire-budget formula.
+
+    >>> report_nbytes(0)
+    104
+    >>> report_nbytes(10)
+    344
+    """
+    return REPORT_HEADER_NBYTES + _WORD * (
+        _EVENT_WORDS * n_events + 2 * (n_stats_events + n_stats_inter)
+    )
+
+
+def _pairs_bytes(stats: tuple[np.ndarray, np.ndarray] | None) -> bytes:
+    if stats is None:
+        return b""
+    keys, counts = stats
+    return (
+        np.ascontiguousarray(keys, dtype=np.int64).tobytes()
+        + np.ascontiguousarray(counts, dtype=np.int64).tobytes()
+    )
+
+
+def encode_report(report: DayReport) -> bytes:
+    """Pack one ``day_done`` message (header + raw int64 array bytes)."""
+    events = np.ascontiguousarray(report.events, dtype=np.int64)
+    n_ev = events.size // _EVENT_WORDS
+    n_se = 0 if report.stats_events is None else int(report.stats_events[0].size)
+    n_si = (
+        0
+        if report.stats_interactions is None
+        else int(report.stats_interactions[0].size)
+    )
+    head = _REPORT.pack(
+        OP_DAY_DONE, report.day, report.transitions, report.visits_made,
+        report.infected, report.backpressure, n_ev, n_se, n_si,
+        *report.clocks,
+    )
+    return b"".join(
+        (
+            head,
+            events.tobytes(),
+            _pairs_bytes(report.stats_events),
+            _pairs_bytes(report.stats_interactions),
+        )
+    )
+
+
+def _read_pairs(buf: bytes, offset: int, n: int):
+    if n == 0:
+        return None, offset
+    keys = np.frombuffer(buf, dtype=np.int64, count=n, offset=offset)
+    offset += n * _WORD
+    counts = np.frombuffer(buf, dtype=np.int64, count=n, offset=offset)
+    return (keys, counts), offset + n * _WORD
+
+
+def decode_report(buf: bytes) -> DayReport:
+    """Decode one ``day_done`` message; arrays are zero-copy views of
+    ``buf``."""
+    (op, day, transitions, visits_made, infected, backpressure,
+     n_ev, n_se, n_si, t0, t1, t2, t3) = _REPORT.unpack_from(buf)
+    if op != OP_DAY_DONE:
+        raise ValueError(f"expected day_done opcode {OP_DAY_DONE}, got {op}")
+    offset = REPORT_HEADER_NBYTES
+    events = np.frombuffer(
+        buf, dtype=np.int64, count=n_ev * _EVENT_WORDS, offset=offset
+    ).reshape(n_ev, _EVENT_WORDS)
+    offset += n_ev * _EVENT_WORDS * _WORD
+    stats_events, offset = _read_pairs(buf, offset, n_se)
+    stats_interactions, offset = _read_pairs(buf, offset, n_si)
+    return DayReport(
+        day=day, transitions=transitions, visits_made=visits_made,
+        infected=infected, backpressure=backpressure,
+        clocks=(t0, t1, t2, t3), events=events,
+        stats_events=stats_events, stats_interactions=stats_interactions,
+    )
+
+
+def encode_error(exc_repr: str, traceback_text: str) -> bytes:
+    """Pack a worker failure (opcode + two UTF-8 strings)."""
+    a = exc_repr.encode("utf-8", errors="replace")
+    b = traceback_text.encode("utf-8", errors="replace")
+    return struct.pack("<qqq", OP_ERROR, len(a), len(b)) + a + b
+
+
+def decode_error(buf: bytes) -> tuple[str, str]:
+    """Decode a worker failure into ``(exc_repr, traceback_text)``."""
+    op, na, nb = struct.unpack_from("<qqq", buf)
+    if op != OP_ERROR:
+        raise ValueError(f"expected error opcode {OP_ERROR}, got {op}")
+    start = struct.calcsize("<qqq")
+    a = buf[start : start + na].decode("utf-8", errors="replace")
+    b = buf[start + na : start + na + nb].decode("utf-8", errors="replace")
+    return a, b
+
+
+def opcode(buf: bytes) -> int:
+    """Peek a message's opcode without decoding the rest."""
+    return struct.unpack_from("<q", buf)[0]

@@ -24,7 +24,13 @@ memory (see :mod:`repro.smp.backend` for the driver side):
    persons (owned, so writes stay disjoint);
 6. the day report (counts, events, wall-clock phase spans) goes back
    to the driver over the worker's pipe, which doubles as the day
-   barrier.
+   barrier — struct-packed bytes (:mod:`repro.smp.protocol`), never a
+   pickle, so the barrier cost stays flat in the event count.
+
+Routing is zero-copy on the send side: surviving visit rows (and
+infect-event records) are destination-sorted once and streamed to the
+mailboxes as contiguous slices of that one array
+(:func:`~repro.smp.ring.route_records`).
 
 Keyed RNG makes all of this order-independent: every draw a worker
 takes is keyed by (phase, day, person/location), so the epidemic is
@@ -43,8 +49,9 @@ import numpy as np
 
 from repro.core.exposure import compute_infections
 from repro.core.interventions import DayContext
+from repro.smp import protocol
 from repro.smp.layout import INFECT_RECORD, SharedState, SmpPlan
-from repro.smp.ring import Mailbox
+from repro.smp.ring import Mailbox, route_records
 
 __all__ = ["WorkerContext", "worker_main", "WorkerAbort", "FAULT_EXIT_CODE"]
 
@@ -66,12 +73,19 @@ class WorkerContext:
     plan: SmpPlan
     conn: Any  # this worker's end of the driver pipe
     kernel: str | None = None
-    batch: int = 256
+    burst_bytes: int = 2048
     collect_stats: bool = False
     timeout: float | None = 120.0
     #: test-only fault injection: {"rank": r, "day": d, "phase": p} makes
     #: worker r die with FAULT_EXIT_CODE at the start of phase p of day d
     fault: dict | None = field(default=None, repr=False)
+
+
+def _counter_pairs(counter) -> tuple[np.ndarray, np.ndarray]:
+    """A Counter as parallel ``(keys, counts)`` int64 arrays for the wire."""
+    keys = np.fromiter(counter.keys(), dtype=np.int64, count=len(counter))
+    counts = np.fromiter(counter.values(), dtype=np.int64, count=len(counter))
+    return keys, counts
 
 
 def _maybe_fault(ctx: WorkerContext, day: int, phase: str) -> None:
@@ -90,7 +104,9 @@ def worker_main(ctx: WorkerContext) -> None:
         import traceback
 
         try:
-            ctx.conn.send(("error", repr(exc), traceback.format_exc()))
+            ctx.conn.send_bytes(
+                protocol.encode_error(repr(exc), traceback.format_exc())
+            )
         except Exception:
             pass
     finally:
@@ -137,11 +153,12 @@ def _run(ctx: WorkerContext) -> None:
         return got
 
     visit_mb = Mailbox(
-        shared.visit_rings, rank, batch=ctx.batch,
+        shared.visit_rings, rank, burst_bytes=ctx.burst_bytes,
         on_backpressure=drain_visits, on_sent=det_v.produce,
     )
     infect_mb = Mailbox(
-        shared.infect_rings, rank, batch=ctx.batch, record=INFECT_RECORD,
+        shared.infect_rings, rank, burst_bytes=ctx.burst_bytes,
+        record=INFECT_RECORD,
         on_backpressure=drain_infects, on_sent=det_i.produce,
     )
 
@@ -150,10 +167,10 @@ def _run(ctx: WorkerContext) -> None:
             raise WorkerAbort
 
     while True:
-        msg = ctx.conn.recv()  # the day barrier: blocks until the driver
-        if msg[0] == "stop":
+        buf = ctx.conn.recv_bytes()  # the day barrier: blocks until the driver
+        op, day, prevalence, cumulative_attack = protocol.decode_command(buf)
+        if op == protocol.OP_STOP:
             break
-        _, day, prevalence, cumulative_attack = msg
         day_ctx = DayContext(
             day=day, graph=g, disease=d,
             health_state=shared.health_state, treatment=shared.treatment,
@@ -171,8 +188,9 @@ def _run(ctx: WorkerContext) -> None:
         keep = sc.interventions.visit_mask(day_ctx, rows=owned_rows)
         kept = owned_rows[keep]
         dests = loc_owner[g.visit_location[kept]]
-        for dst in range(n_workers):
-            visit_mb.send(dst, kept[dests == dst])
+        _routed, parts = route_records(kept, dests, n_workers)
+        for dst, part in enumerate(parts):
+            visit_mb.send(dst, part)
         visit_mb.flush()
         det_v.producer_done()
         # -- step 2: visit-phase completion -------------------------------
@@ -195,9 +213,11 @@ def _run(ctx: WorkerContext) -> None:
                 [(e.person, e.location, e.minute) for e in phase.infections],
                 dtype=np.int64,
             )
-            ev_dests = person_owner[ev[:, 0]]
-            for dst in range(n_workers):
-                infect_mb.send(dst, ev[ev_dests == dst].ravel())
+            _ev_routed, ev_parts = route_records(
+                ev, person_owner[ev[:, 0]], n_workers
+            )
+            for dst, part in enumerate(ev_parts):
+                infect_mb.send(dst, part)
         infect_mb.flush()
         det_i.producer_done()
         # -- step 4: infect-phase completion ------------------------------
@@ -219,26 +239,27 @@ def _run(ctx: WorkerContext) -> None:
         t3 = time.perf_counter()
 
         # -- step 6: report (the driver's reduction) -----------------------
-        ctx.conn.send((
-            "day_done",
-            day,
-            {
-                "transitions": int(transitions.size),
-                "visits_made": int(kept.size),
-                "infected": int(infected.size),
-                "events": [tuple(int(v) for v in row) for row in events],
-                "spans": [
-                    (t0, t1, "person_phase"),
-                    (t1, t2, "location_phase"),
-                    (t2, t3, "apply_phase"),
-                ],
-                "backpressure": int(
-                    visit_mb.backpressure_events + infect_mb.backpressure_events
-                ),
-                "stats": (
-                    (dict(phase.events), dict(phase.interactions))
-                    if ctx.collect_stats
-                    else None
-                ),
-            },
-        ))
+        # Struct-packed bytes + raw int64 event records: the barrier
+        # payload never pickles a tuple list or a numpy array.
+        stats_events = stats_inter = None
+        if ctx.collect_stats:
+            stats_events = _counter_pairs(phase.events)
+            stats_inter = _counter_pairs(phase.interactions)
+        ctx.conn.send_bytes(
+            protocol.encode_report(
+                protocol.DayReport(
+                    day=day,
+                    transitions=int(transitions.size),
+                    visits_made=int(kept.size),
+                    infected=int(infected.size),
+                    backpressure=int(
+                        visit_mb.backpressure_events
+                        + infect_mb.backpressure_events
+                    ),
+                    clocks=(t0, t1, t2, t3),
+                    events=events,
+                    stats_events=stats_events,
+                    stats_interactions=stats_inter,
+                )
+            )
+        )

@@ -1,0 +1,152 @@
+"""The compiled (C-via-ctypes) exposure kernel: bit-exact or absent.
+
+The ``"compiled"`` kernel replaces the flat kernel's pair
+materialisation with a streaming C loop.  Its contract has two halves:
+
+* when a C toolchain is present, it is **bit-identical** to the
+  pure-numpy kernels — same events in the same order, same minutes,
+  same statistics, same epidemic through the SMP backend;
+* when no toolchain is available (or ``REPRO_NO_CKERNEL=1``), nothing
+  in the repo breaks — ``available()`` is False with a reason, the
+  kernel raises a clear error, and everything else runs pure numpy.
+
+These tests skip cleanly on toolchain-less machines; CI runs them both
+ways (with the compiler and with ``REPRO_NO_CKERNEL=1``).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import Scenario, TransmissionModel, ckernel
+from repro.core.exposure import KERNELS, compute_infections
+from repro.core.simulator import SequentialSimulator
+from repro.synthpop import PopulationConfig, generate_population
+from repro.util.rng import RngFactory
+from repro.validate.strategies import scenarios
+
+needs_ckernel = pytest.mark.skipif(
+    not ckernel.available(),
+    reason=f"no compiled kernel: {ckernel.build_error()}",
+)
+
+
+def test_compiled_is_a_registered_kernel():
+    assert "compiled" in KERNELS
+
+
+def _infection_tuples(result):
+    # Order is part of the contract — no sorting here.
+    return [(e.person, e.location, e.minute) for e in result.infections]
+
+
+def _phase_inputs(scenario, infected_frac=0.25):
+    g = scenario.graph
+    d = scenario.disease
+    state, _ = d.initial_health(g.n_persons)
+    rng = np.random.default_rng(scenario.seed)
+    n_sick = max(1, int(g.n_persons * infected_frac)) if g.n_persons else 0
+    if n_sick:
+        sick = rng.choice(g.n_persons, n_sick, replace=False)
+        state[sick] = d.state_index(
+            d.states[int(np.flatnonzero(d.is_infectious)[0])].name
+        )
+    rows = np.arange(g.n_visits, dtype=np.int64)
+    return g, d, state, rows
+
+
+@needs_ckernel
+class TestCompiledBitExact:
+    @given(scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_same_infections_same_order_same_stats(self, scenario):
+        g, d, state, rows = _phase_inputs(scenario)
+        f = RngFactory(scenario.seed)
+        flat = compute_infections(
+            rows, g, state, d, scenario.transmission, 0, f,
+            collect_stats=True, kernel="flat",
+        )
+        compiled = compute_infections(
+            rows, g, state, d, scenario.transmission, 0, f,
+            collect_stats=True, kernel="compiled",
+        )
+        assert _infection_tuples(compiled) == _infection_tuples(flat)
+        assert compiled.events == flat.events
+        assert compiled.interactions == flat.interactions
+
+    def test_full_run_differential(self):
+        from repro.validate.oracle import run_kernel_differential
+
+        graph = generate_population(
+            PopulationConfig(n_persons=500), 13, name="ck-diff"
+        )
+        report = run_kernel_differential(
+            graph, n_days=5, seed=3, kernel_a="flat", kernel_b="compiled"
+        )
+        assert report.equal, report.format()
+
+    def test_sequential_simulator_accepts_compiled(self):
+        graph = generate_population(
+            PopulationConfig(n_persons=300), 7, name="ck-seq"
+        )
+
+        def scenario():
+            return Scenario(
+                graph=graph, n_days=4, seed=2, initial_infections=6,
+                transmission=TransmissionModel(3e-4),
+            )
+
+        res_f = SequentialSimulator(scenario(), kernel="flat").run()
+        res_c = SequentialSimulator(scenario(), kernel="compiled").run()
+        assert res_c.curve == res_f.curve
+        assert res_c.final_histogram == res_f.final_histogram
+
+    def test_smp_backend_compiled_bitexact(self):
+        from repro.validate.oracle import run_smp_matrix
+
+        report = run_smp_matrix(
+            workers=(2,), presets=("tiny",), n_days=4, kernel="compiled"
+        )
+        assert all(c.equal for c in report.cells), report.cells
+
+
+def test_disabled_by_env_is_a_clean_miss():
+    """REPRO_NO_CKERNEL=1 means unavailable-with-reason, not an error.
+
+    Runs in a subprocess because availability is memoised per process.
+    """
+    code = (
+        "from repro.core import ckernel\n"
+        "assert not ckernel.available()\n"
+        "assert 'REPRO_NO_CKERNEL' in ckernel.build_error()\n"
+        "try:\n"
+        "    ckernel.accumulate_exposures(*[None] * 13)\n"
+        "except RuntimeError as exc:\n"
+        "    assert 'unavailable' in str(exc)\n"
+        "else:\n"
+        "    raise AssertionError('expected RuntimeError')\n"
+    )
+    env = dict(os.environ, REPRO_NO_CKERNEL="1")
+    env["PYTHONPATH"] = os.pathsep.join(sys.path)
+    subprocess.run([sys.executable, "-c", code], check=True, env=env)
+
+
+@needs_ckernel
+def test_cache_is_reused_not_rebuilt(tmp_path, monkeypatch):
+    """A second process finds the .so in the cache (sha-named, atomic)."""
+    cached = sorted(ckernel.cache_dir().glob("exposure-*.so"))
+    assert cached, "available() implies a built library in the cache"
+    # The library name embeds the source hash: editing the source would
+    # miss the cache instead of loading stale bits.
+    tag = ckernel.cache_dir() / (
+        "exposure-"
+        + __import__("hashlib").sha256(ckernel.C_SOURCE.encode()).hexdigest()[:16]
+        + ".so"
+    )
+    assert tag in cached
