@@ -38,7 +38,7 @@ from repro.baselines import SEIRParams, project_contact_graph, run_dijkstra, run
 from repro.core import Scenario, TransmissionModel  # noqa: E402
 from repro.core.disease import sir_model  # noqa: E402
 from repro.core.simulator import SequentialSimulator  # noqa: E402
-from repro.smp import heavy_tailed_graph  # noqa: E402
+from repro.spec import PopulationSpec  # noqa: E402
 from repro.util.rng import RngFactory, derive_seed  # noqa: E402
 
 TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
@@ -57,7 +57,10 @@ MIN_FASTSIR_ADVANTAGE = 5.0
 
 
 def main() -> int:
-    graph = heavy_tailed_graph(n_persons=N_PERSONS, n_locations=N_LOCATIONS)
+    graph = PopulationSpec(
+        kind="preset", preset="heavy-tailed", n_persons=N_PERSONS,
+        params={"n_locations": N_LOCATIONS},
+    ).build()
     print(f"heavy-tailed preset: {graph.n_persons:,} persons, "
           f"{graph.n_visits:,} visits, {N_DAYS} days, "
           f"{REPLICATIONS} replications{' [tiny]' if TINY else ''}")

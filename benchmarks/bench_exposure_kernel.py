@@ -34,7 +34,7 @@ from emit import emit_result  # noqa: E402
 
 from repro.core import Scenario, TransmissionModel  # noqa: E402
 from repro.core.exposure import KERNELS, compute_infections  # noqa: E402
-from repro.smp.presets import heavy_tailed_graph  # noqa: E402
+from repro.spec import PopulationSpec  # noqa: E402
 from repro.synthpop.graph import PersonLocationGraph  # noqa: E402
 from repro.util.rng import RngFactory  # noqa: E402
 
@@ -57,14 +57,15 @@ def build_heavy_tailed_graph(
 ) -> PersonLocationGraph:
     """Synthetic population with Zipf(1.4) location popularity.
 
-    The generator itself lives in :mod:`repro.smp.presets` (the smp
-    scaling bench and the differential oracle share it); this wrapper
-    keeps the bench's historical entry point and default sizes.
+    Built through :class:`repro.spec.PopulationSpec` — the one shared
+    preset path (smp scaling bench, differential oracle, lab cache);
+    this wrapper keeps the bench's historical entry point and sizes.
     """
-    return heavy_tailed_graph(
-        n_persons=n_persons, n_locations=n_locations,
-        visits_per_person=VISITS_PER_PERSON, seed=seed,
-    )
+    return PopulationSpec(
+        kind="preset", preset="heavy-tailed", n_persons=n_persons, seed=seed,
+        params={"n_locations": n_locations,
+                "visits_per_person": VISITS_PER_PERSON},
+    ).build()
 
 
 def _phase_state(graph, seed=3, infected_frac=0.08):

@@ -38,7 +38,7 @@ import time
 
 from repro import observe
 from repro.core import Scenario, SequentialSimulator, TransmissionModel
-from repro.synthpop import PopulationConfig, generate_population
+from repro.spec import PopulationSpec
 
 TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
 
@@ -50,9 +50,9 @@ MAX_OVERHEAD = 0.03
 
 
 def build_scenario() -> Scenario:
-    graph = generate_population(
-        PopulationConfig(n_persons=N_PERSONS), 0, name=f"bench-observe-{N_PERSONS}"
-    )
+    graph = PopulationSpec(
+        n_persons=N_PERSONS, seed=0, name=f"bench-observe-{N_PERSONS}"
+    ).build()
     return Scenario(
         graph=graph, n_days=N_DAYS, seed=0, initial_infections=5,
         transmission=TransmissionModel(2e-4),

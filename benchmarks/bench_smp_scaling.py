@@ -37,7 +37,8 @@ sys.path.insert(0, os.path.dirname(__file__))
 from emit import emit_result  # noqa: E402
 
 from repro.core import Scenario, TransmissionModel  # noqa: E402
-from repro.smp import SmpSimulator, heavy_tailed_graph  # noqa: E402
+from repro.smp import SmpSimulator  # noqa: E402
+from repro.spec import PopulationSpec  # noqa: E402
 from repro.validate.oracle import sequential_reference  # noqa: E402
 
 TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
@@ -61,7 +62,10 @@ def _scenario(graph) -> Scenario:
 
 def main() -> int:
     cpus = os.cpu_count() or 1
-    graph = heavy_tailed_graph(n_persons=N_PERSONS, n_locations=N_LOCATIONS)
+    graph = PopulationSpec(
+        kind="preset", preset="heavy-tailed", n_persons=N_PERSONS,
+        params={"n_locations": N_LOCATIONS},
+    ).build()
     print(f"heavy-tailed preset: {graph.n_persons:,} persons, "
           f"{graph.n_visits:,} visits, {N_DAYS} days, {cpus} cpus"
           f"{' [tiny]' if TINY else ''}")

@@ -1,0 +1,133 @@
+"""Benchmark: the lab sweep engine — warm cache and warm pool payoff.
+
+Measures what :mod:`repro.lab` exists to provide:
+
+* ``sweep_cold_w2``  — first sweep, empty artifact cache, 2 workers;
+  every population is synthesised from scratch.
+* ``sweep_warm_w2``  — identical sweep re-run against the now-populated
+  on-disk cache (zero artifact builds; the manifest's hit rate is
+  exported in params).
+* ``sweep_warm_w1``  — the same warm sweep on a single worker, so the
+  emitted ``w2_over_w1`` ratio tracks pool scaling on the host.
+
+The two warm stores must be byte-identical — the determinism contract
+is asserted here too, so the perf artifact can never come from runs
+that diverged.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py          # full
+    REPRO_BENCH_TINY=1 PYTHONPATH=src python benchmarks/bench_sweep.py
+
+Emits ``BENCH_<name>.json`` (via :mod:`benchmarks.emit`) with
+wall-clock seconds per variant and the derived ratios.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from emit import emit_result  # noqa: E402
+
+from repro.lab import ResultStore, SweepConfig, run_sweep  # noqa: E402
+from repro.spec import PopulationSpec, RunSpec  # noqa: E402
+
+TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
+
+N_PERSONS = 300 if TINY else 4_000
+N_DAYS = 3 if TINY else 12
+REPLICATIONS = 2 if TINY else 5
+GRID = {"transmissibility": [1e-4, 2e-4] if TINY else [1e-4, 2e-4, 4e-4]}
+MASTER_SEED = 17
+
+
+def config() -> SweepConfig:
+    return SweepConfig(
+        base=RunSpec(
+            population=PopulationSpec(
+                n_persons=N_PERSONS, seed=3, name=f"bench-sweep-{N_PERSONS}"
+            ),
+            n_days=N_DAYS,
+            initial_infections=10,
+        ),
+        grid=GRID,
+        replications=REPLICATIONS,
+        master_seed=MASTER_SEED,
+        name="bench",
+    )
+
+
+def timed_sweep(workers: int, store_dir: Path, cache_dir: Path):
+    t0 = time.perf_counter()
+    report = run_sweep(
+        config(), workers=workers, store_dir=store_dir, cache_dir=cache_dir
+    )
+    return time.perf_counter() - t0, report
+
+
+def main() -> int:
+    cfg = config()
+    print(f"sweep bench: {cfg.n_runs} runs ({cfg.n_points} points x "
+          f"{cfg.replications} replications), {N_PERSONS:,} persons, "
+          f"{N_DAYS} days{' [tiny]' if TINY else ''}")
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-sweep-") as td:
+        root = Path(td)
+        cache = root / "cache"
+        cold_s, cold = timed_sweep(2, root / "cold", cache)
+        print(f"  cold, 2 workers: {cold_s:7.3f}s  "
+              f"({cold.builds} artifact builds, "
+              f"{cold.runs_per_min:.0f} runs/min)")
+        warm2_s, warm2 = timed_sweep(2, root / "warm2", cache)
+        print(f"  warm, 2 workers: {warm2_s:7.3f}s  "
+              f"({warm2.builds} artifact builds, "
+              f"hit rate {warm2.cache_hit_rate:.0%})")
+        warm1_s, warm1 = timed_sweep(1, root / "warm1", cache)
+        print(f"  warm, 1 worker : {warm1_s:7.3f}s")
+
+        identical = (
+            ResultStore(root / "warm2").results_path.read_bytes()
+            == ResultStore(root / "warm1").results_path.read_bytes()
+            == ResultStore(root / "cold").results_path.read_bytes()
+        )
+        print(f"  stores byte-identical across pool sizes: {identical}")
+        ok = identical and warm2.builds == 0
+
+    path = emit_result(
+        "sweep",
+        params={
+            "n_runs": cfg.n_runs,
+            "n_points": cfg.n_points,
+            "replications": cfg.replications,
+            "persons": N_PERSONS,
+            "days": N_DAYS,
+            "tiny": TINY,
+            "warm_cache_hit_rate": round(warm2.cache_hit_rate, 4),
+            "warm_runs_per_min": round(warm2.runs_per_min, 1),
+            "stores_identical": identical,
+        },
+        wall_seconds={
+            "sweep_cold_w2": cold_s,
+            "sweep_warm_w2": warm2_s,
+            "sweep_warm_w1": warm1_s,
+        },
+        speedup={
+            "warm_over_cold": cold_s / warm2_s,
+            "w2_over_w1": warm1_s / warm2_s,
+        },
+    )
+    print(f"wrote {path.name}")
+    if not ok:
+        print("FAIL: warm sweep rebuilt artifacts or stores diverged")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,9 +29,11 @@ __all__ = [
     "analysis",
     "charm",
     "core",
+    "lab",
     "loadmodel",
     "observe",
     "partition",
+    "spec",
     "synthpop",
     "util",
     "validate",

@@ -10,9 +10,14 @@ Commands
 ``scale``      analytic strong-scaling sweep (Figure-13 style)
 ``validate``   differential sequential↔parallel oracle + golden traces
 ``profile``    trace the full pipeline, emit Chrome trace + timelines
+``sweep``      parameter grid × replications over the lab worker pool
+``results``    query (or replay from) a sweep's result store
 
 Every command is a thin shell over the library API so scripted studies
-can start from the shell and graduate to Python.
+can start from the shell and graduate to Python.  ``run``, ``simulate``,
+``validate`` and ``sweep`` all assemble a :class:`repro.spec.RunSpec`
+first — one canonical, hashable definition of "a run", serialisable to
+JSON/TOML (``repro run --save-spec run.json`` / ``--spec run.json``).
 """
 
 from __future__ import annotations
@@ -71,6 +76,12 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument(
         "--kernel", choices=["flat", "grouped", "compiled"], default=None
     )
+    r.add_argument("--spec", default=None, metavar="PATH",
+                   help="load the full RunSpec from a .json/.toml file "
+                        "(replaces the population/parameter flags)")
+    r.add_argument("--save-spec", default=None, metavar="PATH",
+                   help="also write the assembled RunSpec (.toml by suffix, "
+                        "JSON otherwise)")
 
     q = sub.add_parser("partition", help="partition a population, report quality")
     q.add_argument("population", help=".npz path")
@@ -143,6 +154,59 @@ def build_parser() -> argparse.ArgumentParser:
                         "smp = real worker processes, measured per-PE wall spans")
     f.add_argument("--workers", type=int, default=None,
                    help="smp worker count (default 2)")
+
+    w = sub.add_parser(
+        "sweep",
+        help="run a parameter grid x seeded replications through the lab pool",
+    )
+    w.add_argument("--spec", default=None, metavar="PATH",
+                   help="base RunSpec template (.json/.toml) the grid is "
+                        "applied to (replaces the template flags below)")
+    w.add_argument("--persons", type=int, default=2000,
+                   help="template population size")
+    w.add_argument("--days", type=int, default=16)
+    w.add_argument("--pop-seed", type=int, default=0,
+                   help="population-synthesis seed (shared by every run; "
+                        "replicates vary only the run seed)")
+    w.add_argument("--index-cases", type=int, default=10)
+    w.add_argument("--transmissibility", type=float, default=2e-4)
+    w.add_argument("--backend", choices=["seq", "charm", "smp"], default="seq",
+                   help="backend each individual run executes on")
+    w.add_argument("--run-workers", type=int, default=2,
+                   help="in-run worker count for --backend smp/charm")
+    w.add_argument("--grid", action="append", default=None,
+                   metavar="PATH=V1,V2,...",
+                   help="sweep a dotted spec path over comma-listed values "
+                        "(repeatable, e.g. --grid transmissibility=1e-4,2e-4)")
+    w.add_argument("--replications", type=int, default=None,
+                   help="seeded replications per grid point "
+                        "(default 3; 2 with --quick)")
+    w.add_argument("--master-seed", type=int, default=0,
+                   help="root of every derived run seed")
+    w.add_argument("--workers", type=int, default=2,
+                   help="lab pool size (0 = inline in this process, no forks)")
+    w.add_argument("--out", default="sweep-out",
+                   help="result-store directory (results.jsonl + manifest.json)")
+    w.add_argument("--cache", default=None,
+                   help="on-disk artifact-cache directory (persists "
+                        "populations/partitions across sweeps)")
+    w.add_argument("--name", default="sweep")
+    w.add_argument("--quick", action="store_true",
+                   help="tiny smoke sweep: 150 persons, 4 days, "
+                        "2 transmissibilities x 2 replications")
+    w.add_argument("--dry-run", action="store_true",
+                   help="print the expanded task list without executing")
+
+    t = sub.add_parser(
+        "results", help="summarise, filter or replay a sweep's result store"
+    )
+    t.add_argument("store", help="result-store directory (repro sweep --out)")
+    t.add_argument("--replay", type=int, default=None, metavar="INDEX",
+                   help="re-execute the stored run from its embedded spec and "
+                        "diff the trajectory (exit 1 on divergence)")
+    t.add_argument("--point", action="append", default=None,
+                   metavar="KEY=VALUE",
+                   help="print records whose grid point matches (repeatable)")
     return p
 
 
@@ -183,78 +247,84 @@ def _cmd_info(args) -> int:
 def _cmd_simulate(args) -> int:
     from pathlib import Path
 
-    from repro.core import (
-        Scenario,
-        SequentialSimulator,
-        TransmissionModel,
-        parse_intervention_script,
-    )
-    from repro.core.pttsl import parse_ptts
-    from repro.synthpop import load_population
+    from repro.spec import PopulationSpec, RunSpec, execute
 
-    graph = load_population(args.population)
-    kwargs = {}
-    if args.interventions:
-        kwargs["interventions"] = parse_intervention_script(
-            Path(args.interventions).read_text()
-        )
-    if args.disease:
-        kwargs["disease"] = parse_ptts(Path(args.disease).read_text())
-    scenario = Scenario(
-        graph=graph,
+    spec = RunSpec(
+        population=PopulationSpec(kind="file", path=args.population),
         n_days=args.days,
         seed=args.seed,
         initial_infections=args.index_cases,
-        transmission=TransmissionModel(args.transmissibility),
-        **kwargs,
+        transmissibility=args.transmissibility,
+        disease=("ptts:" + Path(args.disease).read_text()) if args.disease
+        else "influenza",
+        interventions=Path(args.interventions).read_text()
+        if args.interventions else "",
     )
-    result = SequentialSimulator(scenario).run()
-    curve = result.curve
-    print(f"attack rate : {curve.attack_rate(graph.n_persons):.1%}")
-    print(f"peak day    : {curve.peak_day}")
+    result = execute(spec)
+    print(f"attack rate : {result.attack_rate:.1%}")
+    print(f"peak day    : {result.peak_day}")
     print(f"total cases : {result.total_infections}")
     print("day,new_infections,prevalence")
-    for d, (n, prev) in enumerate(zip(curve.new_infections, curve.prevalence)):
+    for d, (n, prev) in enumerate(zip(result.new_infections, result.prevalence)):
         print(f"{d},{n},{prev:.6f}")
     return 0
 
 
-def _cmd_run(args) -> int:
-    import time
+def _run_spec_from_args(args):
+    """Assemble (or load) the RunSpec behind ``repro run``."""
+    from repro.spec import PopulationSpec, RunSpec, RuntimeSpec
 
-    from repro.core import Scenario, SequentialSimulator, TransmissionModel
-
+    if args.spec is not None:
+        return RunSpec.load(args.spec)
     if (args.population is None) == (args.persons is None):
-        print("error: give a population path or --persons (exactly one)",
-              file=sys.stderr)
-        return 2
+        return None
     if args.persons is not None:
-        from repro.synthpop import PopulationConfig, generate_population
-
-        graph = generate_population(
-            PopulationConfig(n_persons=args.persons), args.seed,
-            name=f"run-{args.persons}",
+        population = PopulationSpec(
+            n_persons=args.persons, seed=args.seed, name=f"run-{args.persons}"
         )
     else:
-        from repro.synthpop import load_population
-
-        graph = load_population(args.population)
-
-    scenario = Scenario(
-        graph=graph,
+        population = PopulationSpec(kind="file", path=args.population)
+    return RunSpec(
+        population=population,
         n_days=args.days,
         seed=args.seed,
         initial_infections=args.index_cases,
-        transmission=TransmissionModel(args.transmissibility),
+        transmissibility=args.transmissibility,
+        runtime=RuntimeSpec(
+            backend=args.backend, workers=args.workers, kernel=args.kernel
+        ),
     )
+
+
+def _cmd_run(args) -> int:
+    import time
+    from pathlib import Path
+
+    spec = _run_spec_from_args(args)
+    if spec is None:
+        print("error: give a population path or --persons (exactly one)",
+              file=sys.stderr)
+        return 2
+    if args.save_spec:
+        text = (
+            spec.to_toml() if args.save_spec.endswith(".toml")
+            else spec.to_json(indent=2)
+        )
+        Path(args.save_spec).write_text(text + "\n")
+        print(f"wrote spec   : {args.save_spec} (hash {spec.content_hash()})")
+
+    graph = spec.population.build()
+    backend = spec.runtime.backend
     t0 = time.perf_counter()
-    if args.backend == "seq":
-        result = SequentialSimulator(scenario, kernel=args.kernel).run()
+    if backend == "seq":
+        from repro.core import SequentialSimulator
+
+        result = SequentialSimulator.from_spec(spec, graph=graph).run()
         timing = f"wall time    : {time.perf_counter() - t0:.3f}s (1 process)"
-    elif args.backend == "smp":
+    elif backend == "smp":
         from repro.smp import SmpSimulator
 
-        out = SmpSimulator(scenario, n_workers=args.workers, kernel=args.kernel).run()
+        out = SmpSimulator.from_spec(spec, graph=graph).run()
         result = out.result
         per_day = (
             sum(p.total for p in out.phase_times) / max(1, len(out.phase_times))
@@ -265,25 +335,18 @@ def _cmd_run(args) -> int:
             f"{out.backpressure_events} ring stalls)"
         )
     else:
-        from repro.charm.machine import MachineConfig
-        from repro.core.parallel import Distribution, ParallelEpiSimdemics
-        from repro.partition import round_robin_partition
+        from repro.core.parallel import ParallelEpiSimdemics
 
-        machine = MachineConfig(
-            n_nodes=1, cores_per_node=args.workers, smp=args.workers > 1
-        )
-        dist = Distribution.from_partition(
-            round_robin_partition(graph, args.workers), machine
-        )
-        out = ParallelEpiSimdemics(scenario, machine, dist, kernel=args.kernel).run()
+        graph, part = spec.resolved_partition().build(graph)
+        out = ParallelEpiSimdemics.from_spec(spec, graph=graph, partition=part).run()
         result = out.result
         timing = (
             f"virtual time : {out.total_virtual_time:.3f}s modelled on "
-            f"{args.workers} PE(s) (wall {time.perf_counter() - t0:.3f}s)"
+            f"{spec.runtime.workers} PE(s) (wall {time.perf_counter() - t0:.3f}s)"
         )
 
     curve = result.curve
-    print(f"backend      : {args.backend}")
+    print(f"backend      : {backend}")
     print(timing)
     print(f"attack rate  : {curve.attack_rate(graph.n_persons):.1%}")
     print(f"peak day     : {curve.peak_day}")
@@ -357,7 +420,7 @@ def _cmd_scale(args) -> int:
 
 
 def _cmd_validate(args) -> int:
-    from repro.synthpop import PopulationConfig, generate_population
+    from repro.spec import PopulationSpec
     from repro.validate.golden import GOLDEN_CASES, refresh_all, verify
     from repro.validate.oracle import run_kernel_differential, run_matrix
 
@@ -366,10 +429,9 @@ def _cmd_validate(args) -> int:
             print(f"recorded {path}")
         return 0
 
-    graph = generate_population(
-        PopulationConfig(n_persons=args.persons), args.seed,
-        name=f"validate-{args.persons}",
-    )
+    graph = PopulationSpec(
+        n_persons=args.persons, seed=args.seed, name=f"validate-{args.persons}"
+    ).build()
     n_days = 4 if args.quick else args.days
     report = run_matrix(
         graph,
@@ -459,6 +521,110 @@ def _cmd_profile(args) -> int:
     return 0 if report.curves_identical else 1
 
 
+def _parse_values(text: str) -> list:
+    """Comma-separated grid values; each parsed as JSON, else a string."""
+    import json
+
+    out = []
+    for token in text.split(","):
+        token = token.strip()
+        try:
+            out.append(json.loads(token))
+        except ValueError:
+            out.append(token)
+    return out
+
+
+def _cmd_sweep(args) -> int:
+    from repro.lab import SweepConfig, expand, run_sweep
+    from repro.spec import PopulationSpec, RunSpec, RuntimeSpec
+
+    if args.spec is not None:
+        base = RunSpec.load(args.spec)
+    else:
+        persons = 150 if args.quick else args.persons
+        base = RunSpec(
+            population=PopulationSpec(
+                n_persons=persons, seed=args.pop_seed,
+                name=f"sweep-{persons}",
+            ),
+            n_days=4 if args.quick else args.days,
+            initial_infections=args.index_cases,
+            transmissibility=args.transmissibility,
+            runtime=RuntimeSpec(
+                backend=args.backend,
+                workers=args.run_workers if args.backend != "seq" else 1,
+            ),
+        )
+
+    grid = {}
+    for token in args.grid or []:
+        path, eq, values = token.partition("=")
+        if not eq or not values:
+            print(f"error: --grid expects PATH=V1,V2,... (got {token!r})",
+                  file=sys.stderr)
+            return 2
+        grid[path.strip()] = _parse_values(values)
+    if args.quick and not grid:
+        grid = {"transmissibility": [2e-4, 4e-4]}
+
+    replications = args.replications
+    if replications is None:
+        replications = 2 if args.quick else 3
+    config = SweepConfig(
+        base=base, grid=grid, replications=replications,
+        master_seed=args.master_seed, name=args.name,
+    )
+
+    if args.dry_run:
+        print(f"sweep {config.name!r}: {config.n_runs} runs "
+              f"({config.n_points} grid points x {config.replications} "
+              f"replications)")
+        for task in expand(config):
+            point = ", ".join(f"{k}={v}" for k, v in task.point.items()) or "-"
+            print(f"  [{task.index:>3}] {point:<40} replicate {task.replicate} "
+                  f"seed {task.spec.seed} hash {task.spec.content_hash()}")
+        return 0
+
+    report = run_sweep(
+        config, workers=args.workers, store_dir=args.out, cache_dir=args.cache,
+    )
+    print(report.format())
+    return 0
+
+
+def _cmd_results(args) -> int:
+    import json
+
+    from repro.lab import ResultStore, replay
+
+    store = ResultStore(args.store)
+    if args.replay is not None:
+        outcome = replay(store, args.replay)
+        print(outcome.format())
+        return 0 if outcome.match else 1
+    if args.point:
+        filters = {}
+        for token in args.point:
+            key, eq, value = token.partition("=")
+            if not eq:
+                print(f"error: --point expects KEY=VALUE (got {token!r})",
+                      file=sys.stderr)
+                return 2
+            try:
+                filters[key.strip()] = json.loads(value)
+            except ValueError:
+                filters[key.strip()] = value
+        for r in store.filter(**filters):
+            print(f"[{r['index']:>3}] replicate {r.get('replicate', '?')} "
+                  f"seed {r.get('seed', '?')} "
+                  f"total infections {r.get('total_infections', '?')} "
+                  f"spec {r.get('spec_hash', '?')}")
+        return 0
+    print(store.format_summary())
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
@@ -468,6 +634,8 @@ _COMMANDS = {
     "scale": _cmd_scale,
     "validate": _cmd_validate,
     "profile": _cmd_profile,
+    "sweep": _cmd_sweep,
+    "results": _cmd_results,
 }
 
 

@@ -41,6 +41,7 @@ import os
 import shutil
 import subprocess
 import tempfile
+import time
 from pathlib import Path
 
 import numpy as np
@@ -140,8 +141,59 @@ def _find_compiler() -> str | None:
     return None
 
 
+#: a lock file untouched for this long belongs to a dead builder
+_LOCK_STALE_SECONDS = 60.0
+#: give up waiting on someone else's build after this long
+_LOCK_WAIT_SECONDS = 120.0
+
+
+def _acquire_build_lock(lock: Path, out: Path) -> bool:
+    """Serialise concurrent builders on an ``O_CREAT|O_EXCL`` lock file.
+
+    Returns True when this process holds the lock (and must build),
+    False when the library appeared while waiting.  A lock whose mtime
+    stops advancing for :data:`_LOCK_STALE_SECONDS` is stolen — the
+    holder died mid-compile (e.g. a killed test worker) and must not
+    wedge every later process.
+    """
+    deadline = time.monotonic() + _LOCK_WAIT_SECONDS
+    while True:
+        if out.exists():
+            return False
+        try:
+            fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            try:
+                age = time.time() - lock.stat().st_mtime
+            except OSError:
+                continue  # holder just released; retry immediately
+            if age > _LOCK_STALE_SECONDS:
+                try:
+                    lock.unlink()
+                except OSError:
+                    pass
+                continue
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"timed out waiting for a concurrent C kernel build ({lock})"
+                )
+            time.sleep(0.05)
+            continue
+        try:
+            os.write(fd, str(os.getpid()).encode())
+        finally:
+            os.close(fd)
+        return True
+
+
 def _compile() -> Path:
-    """Build (or reuse) the shared library; raises on any failure."""
+    """Build (or reuse) the shared library; raises on any failure.
+
+    Concurrent-safe at both levels: a build lock keeps N fresh
+    processes from all running the compiler, and the final atomic
+    ``os.replace`` means even an unlocked straggler can only ever
+    install a complete library.
+    """
     tag = hashlib.sha256(C_SOURCE.encode()).hexdigest()[:16]
     out = cache_dir() / f"exposure-{tag}.so"
     if out.exists():
@@ -150,10 +202,15 @@ def _compile() -> Path:
     if cc is None:
         raise RuntimeError("no C compiler found (set $CC or install cc/gcc/clang)")
     out.parent.mkdir(parents=True, exist_ok=True)
+    lock = out.with_suffix(".lock")
+    if not _acquire_build_lock(lock, out):
+        return out
     src = out.with_suffix(f".{os.getpid()}.c")
     tmp = out.with_suffix(f".{os.getpid()}.so.tmp")
-    src.write_text(C_SOURCE)
     try:
+        if out.exists():  # finished while we raced for the lock
+            return out
+        src.write_text(C_SOURCE)
         # -ffp-contract=off: an FMA would change the multiply-add bits
         # vs numpy; bit-exactness across kernels is the contract.
         subprocess.run(
@@ -161,7 +218,7 @@ def _compile() -> Path:
              "-fno-fast-math", str(src), "-o", str(tmp)],
             check=True, capture_output=True, text=True,
         )
-        os.replace(tmp, out)  # atomic: concurrent builders all win
+        os.replace(tmp, out)  # atomic: a partial .so can never be seen
     except subprocess.CalledProcessError as exc:
         raise RuntimeError(f"C kernel build failed:\n{exc.stderr}") from exc
     finally:
@@ -170,6 +227,10 @@ def _compile() -> Path:
                 leftover.unlink()
             except OSError:
                 pass
+        try:
+            lock.unlink()
+        except OSError:
+            pass
     return out
 
 

@@ -528,6 +528,38 @@ class ParallelEpiSimdemics:
             rt.enable_chare_cost_tracking(self.name("lm"))
         self._lm_locations = lm_locations
 
+    @classmethod
+    def from_spec(cls, spec, graph=None, partition=None) -> "ParallelEpiSimdemics":
+        """Build from a :class:`repro.spec.RunSpec`: one PE per worker,
+        delivery/sync/kernel from the spec's runtime config.
+
+        ``graph``/``partition`` short-circuit the population and
+        partition builds (pass cached artifacts).
+        """
+        if graph is None:
+            graph = spec.population.build()
+        if partition is None:
+            graph, partition = spec.resolved_partition().build(graph)
+        rt = spec.runtime
+        try:
+            machine = MachineConfig(
+                n_nodes=1, cores_per_node=rt.workers, smp=rt.workers > 1
+            )
+        except ValueError:
+            # Worker counts whose SMP shape is invalid (k >= cores or
+            # k ∤ cores, e.g. 2 or 3) run every core as its own process.
+            machine = MachineConfig(
+                n_nodes=1, cores_per_node=rt.workers, smp=False
+            )
+        return cls(
+            spec.build_scenario(graph),
+            machine,
+            Distribution.from_partition(partition, machine),
+            sync=rt.sync,
+            delivery=rt.delivery,
+            kernel=rt.kernel,
+        )
+
     def name(self, base: str) -> str:
         """Namespaced runtime identifier for this simulation's objects."""
         return self.namespace + base

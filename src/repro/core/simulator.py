@@ -98,6 +98,18 @@ class SequentialSimulator:
         self.day = 0
         self._seeded = False
 
+    @classmethod
+    def from_spec(
+        cls, spec, graph=None, collect_location_stats: bool = False
+    ) -> "SequentialSimulator":
+        """Build from a :class:`repro.spec.RunSpec` (the canonical run
+        definition); ``graph`` short-circuits the population build."""
+        return cls(
+            spec.build_scenario(graph),
+            collect_location_stats=collect_location_stats,
+            kernel=spec.runtime.kernel,
+        )
+
     # ------------------------------------------------------------------
     def _seed_index_cases(self) -> int:
         cases = self.scenario.index_cases()

@@ -1,0 +1,166 @@
+"""Structured, append-only result store: JSONL records + a manifest.
+
+A sweep writes one directory::
+
+    <store>/results.jsonl    one canonical-JSON line per run, in task
+                             order — the *deterministic* artifact (no
+                             timings, sorted keys), byte-identical for
+                             the same grid + master seed at any pool
+                             size (pinned by the determinism tests)
+    <store>/manifest.json    sweep metadata: name, grid, replications,
+                             master seed, template spec + hash, counts,
+                             pool size, wall time, cache stats — the
+                             *descriptive* artifact (may carry timings)
+
+``results.jsonl`` is append-only by construction: records are only
+ever added (:meth:`ResultStore.append_records` re-opens in ``"a"``
+mode), each line is self-contained, and a reader can stream the file
+without the manifest.  Each record carries the full generating
+:class:`~repro.spec.RunSpec` hash plus the grid-point parameters and
+replicate index, so any stored trajectory can be replayed exactly
+(:func:`repro.lab.sweep.replay`).
+
+>>> import tempfile
+>>> store = ResultStore(tempfile.mkdtemp())
+>>> store.append_records([{"index": 0, "point": {"x": 1}, "total_infections": 3}])
+>>> store.records()[0]["point"]
+{'x': 1}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["ResultStore"]
+
+_RESULTS = "results.jsonl"
+_MANIFEST = "manifest.json"
+
+
+def _canonical_line(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class ResultStore:
+    """One sweep's result directory (created on first write)."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    @property
+    def results_path(self) -> Path:
+        return self.root / _RESULTS
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / _MANIFEST
+
+    # -- writing --------------------------------------------------------
+    def append_records(self, records) -> int:
+        """Append records (dicts) as canonical JSON lines; returns the
+        number written.  Callers pass records in task order — the store
+        never reorders."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        n = 0
+        with open(self.results_path, "a") as fh:
+            for record in records:
+                fh.write(_canonical_line(record) + "\n")
+                n += 1
+        return n
+
+    def write_manifest(self, manifest: dict) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.manifest_path.write_text(
+            json.dumps(manifest, sort_keys=True, indent=2) + "\n"
+        )
+
+    # -- reading --------------------------------------------------------
+    def exists(self) -> bool:
+        return self.results_path.exists()
+
+    def manifest(self) -> dict:
+        if not self.manifest_path.exists():
+            return {}
+        return json.loads(self.manifest_path.read_text())
+
+    def records(self) -> list[dict]:
+        """Every stored record, in file (= task) order."""
+        if not self.exists():
+            return []
+        with open(self.results_path) as fh:
+            return [json.loads(line) for line in fh if line.strip()]
+
+    def record(self, index: int) -> dict:
+        """The record with ``index`` (its task position in the sweep)."""
+        for r in self.records():
+            if r.get("index") == index:
+                return r
+        raise KeyError(f"no record with index {index} in {self.root}")
+
+    def filter(self, **point_params) -> list[dict]:
+        """Records whose grid point matches every given parameter.
+
+        >>> import tempfile
+        >>> s = ResultStore(tempfile.mkdtemp())
+        >>> s.append_records([
+        ...     {"index": 0, "point": {"x": 1}}, {"index": 1, "point": {"x": 2}},
+        ... ])
+        2
+        >>> [r["index"] for r in s.filter(x=2)]
+        [1]
+        """
+        out = []
+        for r in self.records():
+            point = r.get("point", {})
+            if all(point.get(k) == v for k, v in point_params.items()):
+                out.append(r)
+        return out
+
+    # -- aggregation ----------------------------------------------------
+    def summary(self) -> list[dict]:
+        """Per-grid-point aggregate over replicates: run counts and
+        attack/total-infection statistics (pure python, no numpy — the
+        store must be queryable anywhere)."""
+        groups: dict[str, dict] = {}
+        for r in self.records():
+            key = _canonical_line(r.get("point", {}))
+            g = groups.setdefault(
+                key, {"point": r.get("point", {}), "n": 0, "totals": []}
+            )
+            g["n"] += 1
+            if "total_infections" in r:
+                g["totals"].append(r["total_infections"])
+        out = []
+        for g in groups.values():
+            totals = g.pop("totals")
+            if totals:
+                mean = sum(totals) / len(totals)
+                g["total_infections"] = {
+                    "mean": round(mean, 3),
+                    "min": min(totals),
+                    "max": max(totals),
+                }
+            out.append(g)
+        return out
+
+    def format_summary(self) -> str:
+        """Human-readable per-point table for ``repro results``."""
+        m = self.manifest()
+        lines = []
+        if m:
+            lines.append(
+                f"sweep {m.get('name', '?')!r}: {m.get('n_runs', '?')} runs = "
+                f"{m.get('n_points', '?')} grid points x "
+                f"{m.get('replications', '?')} replications "
+                f"(master seed {m.get('master_seed', '?')})"
+            )
+        for g in self.summary():
+            point = ", ".join(f"{k}={v}" for k, v in g["point"].items()) or "-"
+            stats = g.get("total_infections")
+            detail = (
+                f"total infections mean {stats['mean']} "
+                f"[{stats['min']}, {stats['max']}]" if stats else ""
+            )
+            lines.append(f"  {point:<44} n={g['n']:<3} {detail}")
+        return "\n".join(lines) if lines else f"(empty store at {self.root})"

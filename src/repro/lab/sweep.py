@@ -1,0 +1,333 @@
+"""Sweep engine: parameter grids × seeded replications → RunSpecs.
+
+The paper's results are families of runs (strong-scaling series,
+ablations, population sizes), and epidemic science needs many
+stochastic replications per parameter point.  This module turns a
+declarative :class:`SweepConfig` — a template :class:`~repro.spec.RunSpec`,
+a parameter grid, a replication count and one master seed — into the
+explicit task list, executes it over the warm
+:class:`~repro.lab.pool.WorkerPool`, and persists a
+:class:`~repro.lab.store.ResultStore`.
+
+Determinism contract (pinned by ``tests/lab/test_sweep_determinism.py``):
+
+* grid expansion is a pure function of the config — grid keys are
+  processed in sorted order, values in listed order, so the task list
+  and every derived seed are reproducible;
+* replicate seeds come from
+  :func:`repro.util.rng.derive_seed(master_seed, point_index, replicate)`
+  — independent of pool size, worker assignment and completion order;
+* the store writes records in task order with no wall-clock fields, so
+  ``results.jsonl`` is byte-identical at any pool size.
+
+Grid keys are dotted paths into the spec (``"transmissibility"``,
+``"population.n_persons"``, ``"runtime.workers"``, …); replicates vary
+only the *run* seed, never the population seed, so all replicates of a
+grid point share one cached population.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import observe
+from repro.lab.pool import WorkerPool
+from repro.lab.store import ResultStore
+from repro.spec import RunSpec, execute
+from repro.util.rng import derive_seed
+
+__all__ = [
+    "SweepConfig",
+    "SweepTask",
+    "SweepReport",
+    "ReplayResult",
+    "spec_with",
+    "expand",
+    "run_sweep",
+    "replay",
+]
+
+
+def spec_with(spec: RunSpec, path: str, value) -> RunSpec:
+    """A copy of ``spec`` with the dotted-path field replaced.
+
+    >>> base = RunSpec.from_dict({"population": {"n_persons": 100}})
+    >>> spec_with(base, "transmissibility", 1e-3).transmissibility
+    0.001
+    >>> spec_with(base, "population.n_persons", 50).population.n_persons
+    50
+    """
+    head, _, rest = path.partition(".")
+    if not hasattr(spec, head):
+        raise ValueError(f"RunSpec has no field {head!r} (path {path!r})")
+    if not rest:
+        return dataclasses.replace(spec, **{head: value})
+    sub = getattr(spec, head)
+    if sub is None:
+        raise ValueError(f"cannot set {path!r}: {head} is unset on the template")
+    return dataclasses.replace(
+        spec, **{head: dataclasses.replace(sub, **{rest: value})}
+    )
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """A declarative sweep: template × grid × replications × master seed."""
+
+    base: RunSpec
+    #: dotted spec path -> list of values to sweep
+    grid: dict = field(default_factory=dict)
+    replications: int = 1
+    master_seed: int = 0
+    name: str = "sweep"
+
+    def __post_init__(self) -> None:
+        if self.replications < 1:
+            raise ValueError("replications must be >= 1")
+        for path, values in self.grid.items():
+            if not isinstance(values, (list, tuple)) or not len(values):
+                raise ValueError(f"grid[{path!r}] must be a non-empty list")
+
+    @property
+    def n_points(self) -> int:
+        n = 1
+        for values in self.grid.values():
+            n *= len(values)
+        return n
+
+    @property
+    def n_runs(self) -> int:
+        return self.n_points * self.replications
+
+    def canonical(self) -> dict:
+        return {
+            "base": self.base.canonical(),
+            "grid": {k: list(v) for k, v in sorted(self.grid.items())},
+            "replications": self.replications,
+            "master_seed": self.master_seed,
+            "name": self.name,
+        }
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One expanded run: its position, grid point, replicate and spec."""
+
+    index: int
+    point: dict
+    replicate: int
+    spec: RunSpec
+
+
+def expand(config: SweepConfig) -> list[SweepTask]:
+    """The explicit task list: grid points (sorted-key order) ×
+    replications, each with its derived seed already applied.
+
+    >>> cfg = SweepConfig(
+    ...     base=RunSpec.from_dict({"population": {"n_persons": 100}}),
+    ...     grid={"transmissibility": [1e-4, 2e-4]}, replications=2)
+    >>> tasks = expand(cfg)
+    >>> [(t.index, t.point["transmissibility"], t.replicate) for t in tasks]
+    [(0, 0.0001, 0), (1, 0.0001, 1), (2, 0.0002, 0), (3, 0.0002, 1)]
+    >>> len({t.spec.seed for t in tasks})
+    4
+    """
+    with observe.span(
+        "lab.expand", points=config.n_points, replications=config.replications
+    ):
+        paths = sorted(config.grid)
+        tasks: list[SweepTask] = []
+        for point_index, combo in enumerate(
+            itertools.product(*(config.grid[p] for p in paths))
+        ):
+            point = dict(zip(paths, combo))
+            spec = config.base
+            for path, value in point.items():
+                spec = spec_with(spec, path, value)
+            for replicate in range(config.replications):
+                seeded = spec_with(
+                    spec, "seed",
+                    derive_seed(config.master_seed, point_index, replicate),
+                )
+                tasks.append(
+                    SweepTask(
+                        index=len(tasks), point=point,
+                        replicate=replicate, spec=seeded,
+                    )
+                )
+        return tasks
+
+
+@dataclass
+class SweepReport:
+    """What one sweep did: scale, throughput and cache behaviour."""
+
+    name: str
+    n_points: int
+    replications: int
+    n_runs: int
+    workers: int
+    wall_seconds: float
+    #: artifact builds that actually ran (driver + workers)
+    builds: int
+    #: artifact requests that were served from cache
+    cache_hit_rate: float
+    store_path: str | None = None
+    task_wall_seconds: float = 0.0
+
+    @property
+    def runs_per_min(self) -> float:
+        return self.n_runs / self.wall_seconds * 60.0 if self.wall_seconds else 0.0
+
+    def format(self) -> str:
+        lines = [
+            f"sweep {self.name!r}: {self.n_runs} runs "
+            f"({self.n_points} grid points x {self.replications} replications) "
+            f"on {self.workers} worker(s)",
+            f"  wall time      {self.wall_seconds:.3f}s "
+            f"({self.runs_per_min:.1f} runs/min)",
+            f"  artifact cache {self.builds} build(s), "
+            f"hit rate {self.cache_hit_rate:.0%}",
+        ]
+        if self.store_path:
+            lines.append(f"  result store   {self.store_path}")
+        return "\n".join(lines)
+
+
+def _make_record(task: SweepTask, result) -> dict:
+    """The deterministic per-run store line (no wall-clock fields).
+
+    Embeds the full generating spec so :func:`replay` can re-execute
+    the run without the original config.
+    """
+    return {
+        "index": task.index,
+        "point": task.point,
+        "replicate": task.replicate,
+        "seed": task.spec.seed,
+        "spec": task.spec.canonical(),
+        "spec_hash": task.spec.content_hash(),
+        "new_infections": [int(x) for x in result.new_infections],
+        "prevalence": [float(p) for p in result.prevalence],
+        "total_infections": int(result.total_infections),
+        "final_histogram": dict(sorted(result.final_histogram.items())),
+    }
+
+
+def run_sweep(
+    config: SweepConfig,
+    workers: int = 2,
+    store_dir: str | Path | None = None,
+    cache_dir: str | Path | None = None,
+    pool: WorkerPool | None = None,
+    progress=None,
+) -> SweepReport:
+    """Expand, execute and persist one sweep.
+
+    ``pool`` reuses an existing warm :class:`WorkerPool` (its workers
+    and caches survive across sweeps); otherwise a pool of ``workers``
+    is created for this sweep.  ``store_dir=None`` skips persistence
+    (the report still carries throughput and cache stats).
+    """
+    t0 = time.perf_counter()
+    with observe.span("lab.sweep", sweep=config.name, runs=config.n_runs):
+        tasks = expand(config)
+        own_pool = pool is None
+        if own_pool:
+            pool = WorkerPool(workers, cache_dir=cache_dir)
+        try:
+            results = pool.map(
+                [t.spec for t in tasks],
+                progress=(lambda done, total: progress(f"{done}/{total} runs"))
+                if progress else None,
+            )
+        finally:
+            if own_pool:
+                pool.close()
+        with observe.span("lab.collect", runs=len(results)):
+            records = [_make_record(t, r) for t, r in zip(tasks, results)]
+            builds = sum(r.builds for r in results)
+            # Every task demands one population artifact, plus one
+            # partition artifact on the distributed backends.
+            demand = sum(
+                1 + (1 if t.spec.runtime.backend != "seq" else 0) for t in tasks
+            )
+            wall = time.perf_counter() - t0
+            report = SweepReport(
+                name=config.name,
+                n_points=config.n_points,
+                replications=config.replications,
+                n_runs=config.n_runs,
+                workers=pool.n_workers,
+                wall_seconds=wall,
+                builds=builds,
+                cache_hit_rate=1.0 - builds / demand if demand else 0.0,
+                task_wall_seconds=sum(r.wall_seconds for r in results),
+            )
+            if store_dir is not None:
+                store = ResultStore(store_dir)
+                store.append_records(records)
+                store.write_manifest(
+                    {
+                        "name": config.name,
+                        "grid": {k: list(v) for k, v in sorted(config.grid.items())},
+                        "replications": config.replications,
+                        "master_seed": config.master_seed,
+                        "n_points": config.n_points,
+                        "n_runs": config.n_runs,
+                        "template_spec": config.base.canonical(),
+                        "template_hash": config.base.content_hash(),
+                        "workers": pool.n_workers,
+                        "wall_seconds": round(wall, 6),
+                        "runs_per_min": round(report.runs_per_min, 3),
+                        "cache": {
+                            "builds": builds,
+                            "hit_rate": round(report.cache_hit_rate, 4),
+                        },
+                    }
+                )
+                report.store_path = str(store.root)
+    return report
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of re-executing one stored run."""
+
+    index: int
+    match: bool
+    diffs: list[str] = field(default_factory=list)
+
+    def format(self) -> str:
+        if self.match:
+            return f"replay of record {self.index}: trajectory reproduced exactly"
+        return f"replay of record {self.index}: DIVERGED\n  " + "\n  ".join(self.diffs)
+
+
+def replay(store: ResultStore | str | Path, index: int) -> ReplayResult:
+    """Re-execute a stored run from its embedded spec and diff the
+    trajectory against the stored record — the reproducibility check
+    ``repro results --replay`` exposes.
+    """
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    record = store.record(index)
+    spec = RunSpec.from_dict(record["spec"])
+    result = execute(spec)
+    diffs: list[str] = []
+    fresh = _make_record(
+        SweepTask(
+            index=record["index"], point=record.get("point", {}),
+            replicate=record.get("replicate", 0), spec=spec,
+        ),
+        result,
+    )
+    for key in ("new_infections", "prevalence", "total_infections",
+                "final_histogram", "spec_hash"):
+        if fresh[key] != record[key]:
+            diffs.append(f"{key}: stored {record[key]!r} != replayed {fresh[key]!r}")
+    return ReplayResult(index=index, match=not diffs, diffs=diffs)

@@ -198,6 +198,28 @@ class SmpSimulator:
             ]
         )
 
+    @classmethod
+    def from_spec(cls, spec, graph=None, partition=None) -> "SmpSimulator":
+        """Build from a :class:`repro.spec.RunSpec`.
+
+        ``graph``/``partition`` short-circuit the population and
+        partition builds (pass cached artifacts); otherwise both are
+        constructed from the spec's population/partition sub-specs.
+        """
+        if graph is None:
+            graph = spec.population.build()
+        if partition is None:
+            graph, partition = spec.resolved_partition().build(graph)
+        rt = spec.runtime
+        return cls(
+            spec.build_scenario(graph),
+            n_workers=rt.workers,
+            partition=partition,
+            kernel=rt.kernel,
+            ring_capacity=rt.ring_capacity,
+            burst_bytes=rt.burst_bytes,
+        )
+
     # ------------------------------------------------------------------
     def _prevalence(self, health_state, ever_infected) -> float:
         d = self.scenario.disease

@@ -318,8 +318,7 @@ def run_external_oracle(
     >>> len(report.cells)
     2
     """
-    from repro.smp import heavy_tailed_graph
-    from repro.synthpop import PopulationConfig, generate_population
+    from repro.spec import PopulationSpec
 
     unknown = set(presets) - set(EXTERNAL_PRESETS)
     if unknown:
@@ -347,13 +346,14 @@ def run_external_oracle(
     tail_check: HeavyTailCheck | None = None
     for preset_idx, preset in enumerate(presets):
         if preset == "tiny":
-            graph = generate_population(
-                PopulationConfig(n_persons=tiny_persons), seed, name="oracle-tiny"
-            )
+            graph = PopulationSpec(
+                n_persons=tiny_persons, seed=seed, name="oracle-tiny"
+            ).build()
         else:
-            graph = heavy_tailed_graph(
-                n_persons=heavy_persons, n_locations=heavy_locations
-            )
+            graph = PopulationSpec(
+                kind="preset", preset="heavy-tailed", n_persons=heavy_persons,
+                params={"n_locations": heavy_locations},
+            ).build()
         contact = project_contact_graph(graph)
         contact.validate()
 

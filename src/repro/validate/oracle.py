@@ -599,16 +599,21 @@ def run_smp_matrix(
     True
     """
     from repro.core.transmission import TransmissionModel
-    from repro.smp import SmpSimulator, heavy_tailed_graph
-    from repro.synthpop import PopulationConfig, generate_population
+    from repro.smp import SmpSimulator
+    from repro.spec import PopulationSpec
 
     def graph_for(preset: str):
+        # Both presets go through PopulationSpec — the same construction
+        # path (and cache key) the CLI, the benchmarks and the lab use.
         if preset == "tiny":
-            return generate_population(PopulationConfig(n_persons=tiny_persons), seed)
+            return PopulationSpec(
+                n_persons=tiny_persons, seed=seed, name="synthetic"
+            ).build()
         if preset == "heavy":
-            return heavy_tailed_graph(
-                n_persons=heavy_persons, n_locations=heavy_locations
-            )
+            return PopulationSpec(
+                kind="preset", preset="heavy-tailed", n_persons=heavy_persons,
+                params={"n_locations": heavy_locations},
+            ).build()
         raise ValueError(f"unknown preset {preset!r} (expected one of {SMP_PRESETS})")
 
     def scenario_for(g) -> Scenario:

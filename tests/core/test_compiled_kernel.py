@@ -138,6 +138,71 @@ def test_disabled_by_env_is_a_clean_miss():
 
 
 @needs_ckernel
+def test_concurrent_fresh_builds_race_to_one_library(tmp_path):
+    """N processes hitting an empty cache serialise on the build lock:
+    all succeed, exactly one .so remains, no lock/tmp litter."""
+    code = (
+        "from repro.core import ckernel\n"
+        "assert ckernel.available(), ckernel.build_error()\n"
+    )
+    env = dict(os.environ, REPRO_CKERNEL_CACHE=str(tmp_path))
+    env["PYTHONPATH"] = os.pathsep.join(sys.path)
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", code], env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+        for _ in range(3)
+    ]
+    for p in procs:
+        _, err = p.communicate(timeout=120)
+        assert p.returncode == 0, err.decode()
+    assert len(list(tmp_path.glob("*.so"))) == 1
+    assert list(tmp_path.glob("*.lock")) == []
+    assert list(tmp_path.glob("*.tmp*")) == []
+    assert list(tmp_path.glob("*.c")) == []
+
+
+@needs_ckernel
+def test_stale_lock_is_stolen(tmp_path, monkeypatch):
+    """A lock left by a dead builder must not wedge later processes."""
+    monkeypatch.setenv("REPRO_CKERNEL_CACHE", str(tmp_path))
+    tag = __import__("hashlib").sha256(ckernel.C_SOURCE.encode()).hexdigest()[:16]
+    lock = tmp_path / f"exposure-{tag}.lock"
+    tmp_path.mkdir(exist_ok=True)
+    lock.write_text("99999")
+    stale = __import__("time").time() - 2 * ckernel._LOCK_STALE_SECONDS
+    os.utime(lock, (stale, stale))
+    out = ckernel._compile()
+    assert out.exists()
+    assert not lock.exists()
+
+
+def test_fresh_lock_waiter_returns_when_library_appears(tmp_path):
+    """While another process holds a live lock, a waiter polls and
+    returns as soon as the .so lands — without ever compiling."""
+    import threading
+
+    out = tmp_path / "exposure-x.so"
+    lock = tmp_path / "exposure-x.lock"
+    lock.write_text("1")
+
+    def finish_build():
+        __import__("time").sleep(0.2)
+        out.write_bytes(b"not really an so")
+        lock.unlink()
+
+    t = threading.Thread(target=finish_build)
+    t.start()
+    try:
+        acquired = ckernel._acquire_build_lock(lock, out)
+    finally:
+        t.join()
+    assert acquired is False
+    assert out.exists()
+
+
+@needs_ckernel
 def test_cache_is_reused_not_rebuilt(tmp_path, monkeypatch):
     """A second process finds the .so in the cache (sha-named, atomic)."""
     cached = sorted(ckernel.cache_dir().glob("exposure-*.so"))

@@ -1,0 +1,149 @@
+"""The content-addressed artifact cache: hits, keys and persistence.
+
+Contract (ISSUE acceptance criteria): a second identical sweep builds
+*zero* artifacts — asserted through the :mod:`repro.observe` spans the
+cache emits, not through its own counters, so the claim is visible to
+any profiler — and any mutation of a generating sub-spec changes the
+cache key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import observe
+from repro.lab import ArtifactCache, SweepConfig, run_sweep
+from repro.spec import PartitionSpec, PopulationSpec, RunSpec, RuntimeSpec
+
+
+def base_spec(**overrides) -> RunSpec:
+    defaults = dict(
+        population=PopulationSpec(n_persons=200, seed=2, name="cache-test"),
+        n_days=3,
+        initial_infections=6,
+    )
+    defaults.update(overrides)
+    return RunSpec(**defaults)
+
+
+def sweep_config(**overrides) -> SweepConfig:
+    defaults = dict(
+        base=base_spec(),
+        grid={"transmissibility": [2e-4, 4e-4]},
+        replications=2,
+        master_seed=9,
+    )
+    defaults.update(overrides)
+    return SweepConfig(**defaults)
+
+
+def build_span_names(obs) -> list[str]:
+    return [s.name for s in obs.closed_spans()
+            if s.name in ("lab.pop_build", "lab.part_build")]
+
+
+class TestObserveVisibleHits:
+    def test_second_identical_sweep_builds_nothing(self, tmp_path):
+        """The headline criterion: sweep twice, second pass = 0 builds.
+
+        Runs inline (workers=0) so every cache event lands in this
+        process's observe spans.
+        """
+        cfg = sweep_config()
+        with observe.observing() as first:
+            run_sweep(cfg, workers=0, store_dir=tmp_path / "s1",
+                      cache_dir=tmp_path / "cache")
+        with observe.observing() as second:
+            run_sweep(cfg, workers=0, store_dir=tmp_path / "s2",
+                      cache_dir=tmp_path / "cache")
+        assert build_span_names(first) == ["lab.pop_build"]
+        assert build_span_names(second) == []
+        # Hits are visible as counters: 4 runs × 2 sweeps = 8 demands,
+        # 1 build, 7 hits.
+        assert first.counters.get("lab.pop_hit", 0) == 3
+        assert second.counters.get("lab.pop_hit", 0) == 4
+
+    def test_partition_artifacts_cached_for_distributed_backends(self, tmp_path):
+        cfg = sweep_config(
+            base=base_spec(runtime=RuntimeSpec(backend="smp", workers=2)),
+            grid={"transmissibility": [2e-4]},
+        )
+        with observe.observing() as first:
+            run_sweep(cfg, workers=0, store_dir=None, cache_dir=tmp_path)
+        with observe.observing() as second:
+            run_sweep(cfg, workers=0, store_dir=None, cache_dir=tmp_path)
+        assert sorted(build_span_names(first)) == ["lab.part_build", "lab.pop_build"]
+        assert build_span_names(second) == []
+
+
+class TestKeys:
+    def test_mutated_subspec_changes_key_and_misses(self):
+        cache = ArtifactCache()
+        spec = PopulationSpec(n_persons=120, seed=1)
+        cache.population(spec)
+        cache.population(dataclasses.replace(spec, seed=2))
+        cache.population(dataclasses.replace(spec, params={"mean_visits": 5.0}))
+        assert cache.stats.pop_builds == 3
+        assert cache.stats.pop_hits == 0
+
+    def test_identical_subspec_hits_in_memory(self):
+        cache = ArtifactCache()
+        spec = PopulationSpec(n_persons=120, seed=1)
+        g1 = cache.population(spec)
+        g2 = cache.population(PopulationSpec(n_persons=120, seed=1))
+        assert g1 is g2
+        assert (cache.stats.pop_builds, cache.stats.pop_hits) == (1, 1)
+
+    def test_partition_key_depends_on_population(self):
+        cache = ArtifactCache()
+        part = PartitionSpec(method="rr", k=2)
+        pop_a = PopulationSpec(n_persons=120, seed=1)
+        pop_b = PopulationSpec(n_persons=120, seed=2)
+        cache.partition(pop_a, part, cache.population(pop_a))
+        cache.partition(pop_b, part, cache.population(pop_b))
+        assert cache.stats.part_builds == 2
+
+    def test_file_populations_bypass_the_cache(self, tmp_path):
+        from repro.synthpop import save_population
+
+        graph = PopulationSpec(n_persons=80, seed=3).build()
+        path = tmp_path / "pop.npz"
+        save_population(graph, path)
+        cache = ArtifactCache()
+        spec = PopulationSpec(kind="file", path=str(path))
+        cache.population(spec)
+        cache.population(spec)
+        assert cache.stats.pop_builds == 0 and cache.stats.pop_hits == 0
+
+
+class TestDiskPersistence:
+    def test_artifacts_survive_across_cache_instances(self, tmp_path):
+        spec = PopulationSpec(n_persons=150, seed=4)
+        first = ArtifactCache(root=tmp_path)
+        built = first.population(spec)
+        second = ArtifactCache(root=tmp_path)  # fresh process, same disk
+        loaded = second.population(spec)
+        assert second.stats.pop_builds == 0
+        assert second.stats.pop_hits == 1
+        assert (loaded.visit_person == built.visit_person).all()
+        assert (loaded.visit_start == built.visit_start).all()
+
+    def test_split_partition_roundtrips_transformed_graph(self, tmp_path):
+        pop = PopulationSpec(
+            kind="preset", preset="heavy-tailed", n_persons=300,
+            params={"n_locations": 12},
+        )
+        part = PartitionSpec(method="rr", k=2, split=True, max_partitions=32)
+        first = ArtifactCache(root=tmp_path)
+        g1, p1 = first.partition(pop, part, first.population(pop))
+        second = ArtifactCache(root=tmp_path)
+        g2, p2 = second.partition(pop, part, second.population(pop))
+        assert second.stats.part_builds == 0
+        # The split graph (more locations than the source) comes back
+        # bit-identical, not re-derived.
+        assert g1.n_locations == g2.n_locations
+        assert (g1.visit_location == g2.visit_location).all()
+        assert (p1.location_part == p2.location_part).all()
+        assert np.array_equal(p1.person_part, p2.person_part)

@@ -1,0 +1,83 @@
+"""The append-only result store: records, filters, summaries, manifest."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lab import ResultStore
+
+
+def rec(index, x, total):
+    return {
+        "index": index,
+        "point": {"x": x},
+        "replicate": index % 2,
+        "total_infections": total,
+    }
+
+
+class TestAppendOnly:
+    def test_append_never_rewrites_earlier_lines(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.append_records([rec(0, 1, 10)]) == 1
+        first = store.results_path.read_bytes()
+        store.append_records([rec(1, 1, 12), rec(2, 2, 7)])
+        assert store.results_path.read_bytes().startswith(first)
+        assert [r["index"] for r in store.records()] == [0, 1, 2]
+
+    def test_lines_are_canonical_json(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append_records([{"b": 1, "a": {"z": 2, "y": 3}, "index": 0}])
+        line = store.results_path.read_text().strip()
+        assert line == '{"a":{"y":3,"z":2},"b":1,"index":0}'
+
+    def test_empty_store_reads_cleanly(self, tmp_path):
+        store = ResultStore(tmp_path / "nothing")
+        assert not store.exists()
+        assert store.records() == []
+        assert store.manifest() == {}
+        assert "empty store" in store.format_summary()
+
+
+class TestQueries:
+    def test_record_by_index_and_missing_index(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append_records([rec(0, 1, 10), rec(1, 2, 20)])
+        assert store.record(1)["total_infections"] == 20
+        try:
+            store.record(7)
+        except KeyError as exc:
+            assert "7" in str(exc)
+        else:
+            raise AssertionError("expected KeyError")
+
+    def test_filter_matches_grid_point_params(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append_records([rec(0, 1, 10), rec(1, 1, 12), rec(2, 2, 7)])
+        assert [r["index"] for r in store.filter(x=1)] == [0, 1]
+        assert store.filter(x=3) == []
+
+    def test_summary_aggregates_per_point(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append_records([rec(0, 1, 10), rec(1, 1, 14), rec(2, 2, 7)])
+        by_point = {json.dumps(g["point"]): g for g in store.summary()}
+        g1 = by_point['{"x": 1}']
+        assert g1["n"] == 2
+        assert g1["total_infections"] == {"mean": 12.0, "min": 10, "max": 14}
+
+
+class TestManifest:
+    def test_manifest_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.write_manifest({"name": "m", "n_runs": 4})
+        assert store.manifest() == {"name": "m", "n_runs": 4}
+
+    def test_format_summary_includes_manifest_header(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append_records([rec(0, 1, 10)])
+        store.write_manifest(
+            {"name": "m", "n_runs": 1, "n_points": 1, "replications": 1,
+             "master_seed": 0}
+        )
+        text = store.format_summary()
+        assert "sweep 'm'" in text and "x=1" in text

@@ -49,6 +49,24 @@ class TestArtifactSchema:
             assert isinstance(ratio, (int, float)) and ratio > 0
 
 
+class TestSweepArtifact:
+    """BENCH_sweep.json: the lab's perf trajectory must stay honest."""
+
+    def test_sweep_artifact_committed(self):
+        assert (REPO_ROOT / "BENCH_sweep.json") in bench_artifacts()
+
+    def test_sweep_artifact_contents(self):
+        payload = json.loads((REPO_ROOT / "BENCH_sweep.json").read_text())
+        assert {"sweep_cold_w2", "sweep_warm_w2", "sweep_warm_w1"} <= set(
+            payload["wall_seconds"]
+        )
+        assert {"warm_over_cold", "w2_over_w1"} <= set(payload["speedup"])
+        # The artifact is only meaningful if the runs it measured were
+        # deterministic and the warm cache actually hit.
+        assert payload["params"]["stores_identical"] is True
+        assert payload["params"]["warm_cache_hit_rate"] == 1.0
+
+
 class TestSingleEmitter:
     @pytest.mark.parametrize("path", bench_scripts(), ids=lambda p: p.name)
     def test_no_direct_bench_json_writes(self, path):

@@ -77,3 +77,57 @@ class TestScale:
     def test_scale_rr(self, pop_file, capsys):
         assert main(["scale", pop_file, "--cores", "1", "16", "--strategy", "rr"]) == 0
         assert "speedup" in capsys.readouterr().out
+
+
+class TestRunSpecFlow:
+    def test_run_saves_and_reloads_a_spec(self, tmp_path, capsys):
+        spec_path = str(tmp_path / "run.toml")
+        assert main([
+            "run", "--persons", "200", "--backend", "seq", "--days", "3",
+            "--save-spec", spec_path,
+        ]) == 0
+        first = capsys.readouterr().out
+        assert "wrote spec" in first and "total cases" in first
+        assert main(["run", "--spec", spec_path]) == 0
+        second = capsys.readouterr().out
+        # Same spec => same epidemic (timing lines differ).
+        assert first.split("total cases")[1] == second.split("total cases")[1]
+
+    def test_run_rejects_ambiguous_population(self, pop_file, capsys):
+        assert main(["run", pop_file, "--persons", "100"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_quick_sweep_and_results_roundtrip(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main([
+            "sweep", "--quick", "--workers", "0", "--out", store,
+            "--cache", str(tmp_path / "cache"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "4 runs" in out and "result store" in out
+
+        assert main(["results", store]) == 0
+        out = capsys.readouterr().out
+        assert "transmissibility=0.0002" in out
+
+        assert main(["results", store, "--replay", "0"]) == 0
+        assert "reproduced exactly" in capsys.readouterr().out
+
+        assert main(["results", store, "--point", "transmissibility=0.0004"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("replicate") == 2
+
+    def test_sweep_dry_run_lists_tasks(self, capsys):
+        assert main([
+            "sweep", "--quick", "--dry-run",
+            "--grid", "transmissibility=1e-4,2e-4", "--replications", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "6 runs" in out
+        assert out.count("hash") == 6
+
+    def test_sweep_rejects_malformed_grid(self, capsys):
+        assert main(["sweep", "--quick", "--grid", "transmissibility"]) == 2
+        assert "--grid" in capsys.readouterr().err
