@@ -58,11 +58,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="path to an intervention script")
     s.add_argument("--disease", default=None, help="path to a PTTSL disease model")
 
-    r = sub.add_parser("run", help="run a scenario on a chosen execution backend")
+    r = sub.add_parser(
+        "run", help="run a scenario on a chosen execution backend",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "large populations:\n"
+            "  --backing memmap streams generation through disk-backed\n"
+            "  arrays (bounded RAM at any --persons; see docs/scaling.md).\n"
+            "  Content is bit-identical to --backing ram at equal seeds.\n"
+            "    repro run --persons 10000000 --backing memmap --days 8\n"
+        ),
+    )
     r.add_argument("population", nargs="?", default=None,
                    help=".npz path (omit with --persons to synthesise one)")
     r.add_argument("--persons", type=int, default=None,
                    help="synthesise a population of this size instead of loading one")
+    r.add_argument("--backing", choices=["ram", "memmap", "auto"], default=None,
+                   help="use the streaming generator with this residency "
+                        "(memmap = disk-backed arrays, bounded RAM; "
+                        "auto = memmap at >=1M persons)")
+    r.add_argument("--chunk-persons", type=int, default=None,
+                   help="streaming flush-buffer size in persons "
+                        "(execution knob; never changes content)")
     r.add_argument("--backend", choices=["seq", "charm", "smp"], default="smp",
                    help="seq = sequential reference; charm = simulated chare "
                         "runtime (virtual time); smp = real shared-memory "
@@ -158,6 +175,19 @@ def build_parser() -> argparse.ArgumentParser:
     w = sub.add_parser(
         "sweep",
         help="run a parameter grid x seeded replications through the lab pool",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "inspecting before running:\n"
+            "  --dry-run prints the fully expanded task list (grid point,\n"
+            "  replicate, derived seed, spec hash) without executing, so a\n"
+            "  sweep can be reviewed and its hashes pinned ahead of time:\n"
+            "    repro sweep --grid transmissibility=1e-4,2e-4 --dry-run\n"
+            "  After a sweep, query its store with 'repro results' (see\n"
+            "  'repro results --help' and EXPERIMENTS.md).\n"
+            "large populations:\n"
+            "  --backing memmap makes every template population stream\n"
+            "  through disk-backed arrays (docs/scaling.md).\n"
+        ),
     )
     w.add_argument("--spec", default=None, metavar="PATH",
                    help="base RunSpec template (.json/.toml) the grid is "
@@ -196,9 +226,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "2 transmissibilities x 2 replications")
     w.add_argument("--dry-run", action="store_true",
                    help="print the expanded task list without executing")
+    w.add_argument("--backing", choices=["ram", "memmap", "auto"], default=None,
+                   help="stream template populations with this residency "
+                        "(memmap = disk-backed, bounded RAM)")
 
     t = sub.add_parser(
-        "results", help="summarise, filter or replay a sweep's result store"
+        "results", help="summarise, filter or replay a sweep's result store",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "filtering:\n"
+            "  --point KEY=VALUE restricts output to records whose grid\n"
+            "  point matches; repeat the flag to intersect filters:\n"
+            "    repro results sweep-out --point transmissibility=2e-4\n"
+            "  --replay INDEX re-executes a stored run from its embedded\n"
+            "  spec and diffs the trajectory (exit 1 on divergence).\n"
+            "  Worked examples live in EXPERIMENTS.md.\n"
+        ),
     )
     t.add_argument("store", help="result-store directory (repro sweep --out)")
     t.add_argument("--replay", type=int, default=None, metavar="INDEX",
@@ -279,9 +322,16 @@ def _run_spec_from_args(args):
     if (args.population is None) == (args.persons is None):
         return None
     if args.persons is not None:
-        population = PopulationSpec(
-            n_persons=args.persons, seed=args.seed, name=f"run-{args.persons}"
-        )
+        if args.backing is not None or args.chunk_persons is not None:
+            population = PopulationSpec(
+                kind="streamed", n_persons=args.persons, seed=args.seed,
+                name=f"run-{args.persons}", backing=args.backing,
+                chunk_persons=args.chunk_persons,
+            )
+        else:
+            population = PopulationSpec(
+                n_persons=args.persons, seed=args.seed, name=f"run-{args.persons}"
+            )
     else:
         population = PopulationSpec(kind="file", path=args.population)
     return RunSpec(
@@ -543,11 +593,17 @@ def _cmd_sweep(args) -> int:
         base = RunSpec.load(args.spec)
     else:
         persons = 150 if args.quick else args.persons
+        if args.backing is not None:
+            population = PopulationSpec(
+                kind="streamed", n_persons=persons, seed=args.pop_seed,
+                name=f"sweep-{persons}", backing=args.backing,
+            )
+        else:
+            population = PopulationSpec(
+                n_persons=persons, seed=args.pop_seed, name=f"sweep-{persons}",
+            )
         base = RunSpec(
-            population=PopulationSpec(
-                n_persons=persons, seed=args.pop_seed,
-                name=f"sweep-{persons}",
-            ),
+            population=population,
             n_days=4 if args.quick else args.days,
             initial_infections=args.index_cases,
             transmissibility=args.transmissibility,

@@ -17,9 +17,17 @@ sub-spec*, so:
 Layout under the cache root::
 
     pop/<pop-hash>.npz           saved population (synthpop .npz format)
+    pop/<pop-hash>.d/            memmap population (directory of .npy
+                                 columns; loads back as read-only
+                                 memmaps — constant RAM at any size)
     part/<part-hash>.npz         person/location part arrays + metadata
     part/<part-hash>.graph       pop-hash of the post-splitLoc graph
                                  (only when the partition spec splits)
+
+Streamed populations built on a memmap backing are stored in the
+directory format — an owned temp backing is *renamed* into the cache
+(zero-copy persist), and later loads memmap the columns instead of
+inflating gigabytes into RAM.
 
 Writes are build-to-temp + :func:`os.replace`, so concurrent builders
 (the lab worker pool makes this routine) race benignly: both build,
@@ -128,7 +136,15 @@ class ArtifactCache:
     def _pop_path(self, key: str) -> Path | None:
         return None if self.root is None else self.root / "pop" / f"{key}.npz"
 
+    def _pop_dir_path(self, key: str) -> Path | None:
+        return None if self.root is None else self.root / "pop" / f"{key}.d"
+
     def _load_pop(self, key: str):
+        dpath = self._pop_dir_path(key)
+        if dpath is not None and dpath.is_dir():
+            from repro.synthpop import load_population_dir
+
+            return load_population_dir(dpath, mmap=True)
         path = self._pop_path(key)
         if path is None or not path.exists():
             return None
@@ -139,6 +155,24 @@ class ArtifactCache:
     def _store_pop(self, key: str, graph) -> None:
         path = self._pop_path(key)
         if path is None:
+            return
+        backing = getattr(graph, "backing", None)
+        if backing is not None and backing.kind == "memmap":
+            dpath = self._pop_dir_path(key)
+            if dpath.is_dir():
+                return
+            if backing.owned:
+                # Freshly streamed into a temp dir: rename it into the
+                # cache — no byte is copied, and the open memmaps stay
+                # valid through the move.
+                from repro.synthpop.store import write_population_header
+
+                write_population_header(graph, backing.dir)
+                backing.persist(dpath)
+            else:
+                from repro.synthpop import save_population_dir
+
+                save_population_dir(graph, dpath)
             return
         from repro.synthpop import save_population
 

@@ -86,12 +86,19 @@ def _prune(d: dict) -> dict:
 class PopulationSpec:
     """How to obtain the person–location graph.
 
-    Four kinds, mirroring every construction path in the repo:
+    Five kinds, mirroring every construction path in the repo:
 
     ``generated``
         :func:`repro.synthpop.generate_population` with ``n_persons``
         plus optional :class:`~repro.synthpop.PopulationConfig`
         overrides in ``params``.
+    ``streamed``
+        :func:`repro.synthpop.generate_population_streamed` — the
+        memory-bounded block-streamed generator.  ``params`` may carry
+        ``block_persons`` (content-affecting RNG granularity, hashed);
+        ``backing`` and ``chunk_persons`` are pure execution knobs and
+        are **excluded** from the content hash — a RAM and a memmap
+        build of the same spec are one artifact.
     ``state``
         :func:`repro.synthpop.state_population` for a Table-I state
         code at ``scale``.
@@ -109,6 +116,10 @@ class PopulationSpec:
     >>> PopulationSpec(kind="preset", preset="heavy-tailed",
     ...                n_persons=100, params={"n_locations": 10}).build().n_visits
     300
+    >>> a = PopulationSpec(kind="streamed", n_persons=100, backing="ram")
+    >>> b = PopulationSpec(kind="streamed", n_persons=100, backing="memmap")
+    >>> a.content_hash() == b.content_hash()  # backing is execution-only
+    True
     """
 
     kind: str = "generated"
@@ -124,15 +135,21 @@ class PopulationSpec:
     path: str | None = None
     #: extra builder kwargs (PopulationConfig overrides / preset knobs).
     params: dict = field(default_factory=dict)
+    #: kind="streamed" residency: ram / memmap / auto (execution-only,
+    #: never hashed).
+    backing: str | None = None
+    #: kind="streamed" flush-buffer size (execution-only, never hashed).
+    chunk_persons: int | None = None
 
-    _KINDS = ("generated", "state", "preset", "file")
+    _KINDS = ("generated", "streamed", "state", "preset", "file")
     _PRESETS = ("heavy-tailed",)
+    _BACKINGS = ("ram", "memmap", "auto")
 
     def __post_init__(self) -> None:
         if self.kind not in self._KINDS:
             raise ValueError(f"unknown population kind {self.kind!r}")
-        if self.kind == "generated" and self.n_persons is None:
-            raise ValueError("kind='generated' needs n_persons")
+        if self.kind in ("generated", "streamed") and self.n_persons is None:
+            raise ValueError(f"kind={self.kind!r} needs n_persons")
         if self.kind == "state" and self.state is None:
             raise ValueError("kind='state' needs a state code")
         if self.kind == "preset" and self.preset not in self._PRESETS:
@@ -141,6 +158,14 @@ class PopulationSpec:
             )
         if self.kind == "file" and not self.path:
             raise ValueError("kind='file' needs a path")
+        if self.backing is not None and self.backing not in self._BACKINGS:
+            raise ValueError(
+                f"backing must be one of {self._BACKINGS}, got {self.backing!r}"
+            )
+        if self.kind != "streamed" and (
+            self.backing is not None or self.chunk_persons is not None
+        ):
+            raise ValueError("backing/chunk_persons only apply to kind='streamed'")
 
     @property
     def cacheable(self) -> bool:
@@ -149,7 +174,14 @@ class PopulationSpec:
         return self.kind != "file"
 
     def canonical(self) -> dict:
-        return _prune(dataclasses.asdict(self))
+        """Content-defining fields only: ``backing`` and
+        ``chunk_persons`` change *where* the arrays live and how they
+        are flushed, never a single byte of content, so they are
+        dropped before hashing."""
+        d = _prune(dataclasses.asdict(self))
+        d.pop("backing", None)
+        d.pop("chunk_persons", None)
+        return d
 
     def content_hash(self) -> str:
         return content_hash(self.canonical())
@@ -169,6 +201,23 @@ class PopulationSpec:
             return generate_population(
                 PopulationConfig(n_persons=self.n_persons, **self.params),
                 self.seed, name=name,
+            )
+        if self.kind == "streamed":
+            from repro.synthpop import PopulationConfig
+            from repro.synthpop.stream import (
+                DEFAULT_BLOCK_PERSONS,
+                generate_population_streamed,
+            )
+
+            params = dict(self.params)
+            block = params.pop("block_persons", DEFAULT_BLOCK_PERSONS)
+            return generate_population_streamed(
+                PopulationConfig(n_persons=self.n_persons, **params),
+                self.seed,
+                backing=self.backing or "auto",
+                chunk_persons=self.chunk_persons,
+                block_persons=block,
+                name=self.name or f"streamed-{self.n_persons}",
             )
         if self.kind == "state":
             from repro.synthpop import state_population

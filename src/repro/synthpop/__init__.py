@@ -11,6 +11,14 @@ that match the statistics the paper reports:
 * locations composed of sublocations (rooms/classrooms/floors) that
   carry the splittable parallelism exploited by ``splitLoc``.
 
+Two generation paths share one graph type:
+
+* :func:`generate_population` — the dense in-RAM generator (reference
+  semantics; golden traces depend on it);
+* :func:`generate_population_streamed` — block-streamed generation into
+  a :class:`PopulationBacking` (RAM or ``np.memmap``), bounded memory
+  at any population size.  See ``docs/scaling.md``.
+
 See DESIGN.md §2 for why matching these distributions preserves the
 paper's scaling phenomena.
 """
@@ -25,12 +33,22 @@ from repro.synthpop.states import (
     synthetic_state_sweep,
 )
 from repro.synthpop.io import save_population, load_population
+from repro.synthpop.store import (
+    PopulationBacking,
+    load_population_dir,
+    save_population_dir,
+)
+from repro.synthpop.stream import generate_population_streamed
 
 __all__ = [
     "PersonLocationGraph",
     "LocationType",
     "PopulationConfig",
     "generate_population",
+    "generate_population_streamed",
+    "PopulationBacking",
+    "save_population_dir",
+    "load_population_dir",
     "STATE_PRESETS",
     "StatePreset",
     "state_population",

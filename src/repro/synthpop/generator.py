@@ -46,6 +46,9 @@ class PopulationConfig:
 
     Defaults reproduce the paper's reported statistics; tests pin the
     resulting moments (see ``tests/synthpop/test_generator.py``).
+
+    >>> PopulationConfig(n_persons=100).mean_visits
+    5.5
     """
 
     n_persons: int
@@ -88,21 +91,26 @@ class PopulationConfig:
 
 
 @observe.traced("synthpop.sample_degrees")
-def _sample_person_degrees(rng: np.random.Generator, cfg: PopulationConfig) -> np.ndarray:
+def _sample_person_degrees(
+    rng: np.random.Generator, cfg: PopulationConfig, n: int | None = None
+) -> np.ndarray:
     """Visits per person: 2 home visits + negative-binomial activity visits.
 
     NB parameters chosen so the *total* degree matches (mean, std); the
     NB requires var > mean which holds for the paper's (5.5, 2.6).
+    ``n`` overrides the draw count (the streaming generator samples one
+    fixed-size person block at a time).
     """
+    n = cfg.n_persons if n is None else n
     m = cfg.mean_visits - 2.0
     var = cfg.std_visits**2
     if var <= m:
         # Fall back to Poisson when the requested dispersion is too tight.
-        k = rng.poisson(m, size=cfg.n_persons)
+        k = rng.poisson(m, size=n)
     else:
         r = m * m / (var - m)
         p = r / (r + m)
-        k = rng.negative_binomial(r, p, size=cfg.n_persons)
+        k = rng.negative_binomial(r, p, size=n)
     return (k + 2).astype(np.int64)
 
 
@@ -172,6 +180,10 @@ def generate_population(
         An :class:`~repro.util.rng.RngFactory` or a bare integer seed.
     name:
         Dataset label carried on the resulting graph.
+
+    >>> g = generate_population(PopulationConfig(n_persons=60), 0)
+    >>> g.n_persons, g.n_visits >= 3 * 60
+    (60, True)
     """
     obs_span = observe.span("synthpop.generate", persons=cfg.n_persons)
     with obs_span:

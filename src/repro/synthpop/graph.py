@@ -20,7 +20,9 @@ Degrees and loads used throughout the paper:
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field, replace
+from typing import Iterator
 
 import numpy as np
 
@@ -29,9 +31,17 @@ __all__ = ["LocationType", "PersonLocationGraph", "MINUTES_PER_DAY"]
 #: Simulated minutes in one time step (one simulation day).
 MINUTES_PER_DAY = 1440
 
+#: Rows per chunk when streaming over the visit table (≈ 32 MB of
+#: int64 column per chunk) — bounds temporaries on memmap-backed graphs.
+VISIT_CHUNK_ROWS = 1 << 22
+
 
 class LocationType(enum.IntEnum):
-    """Coarse activity types; interventions act on these."""
+    """Coarse activity types; interventions act on these.
+
+    >>> int(LocationType.HOME), LocationType.SCHOOL.name
+    (0, 'SCHOOL')
+    """
 
     HOME = 0
     WORK = 1
@@ -71,6 +81,12 @@ class PersonLocationGraph:
         modulate susceptibility).
     person_home:
         Home location id per person.
+
+    >>> from repro.synthpop import PopulationConfig, generate_population
+    >>> g = generate_population(PopulationConfig(n_persons=50), 0)
+    >>> g.validate()
+    >>> int(g.person_degrees.sum()) == g.n_visits
+    True
     """
 
     name: str
@@ -91,6 +107,10 @@ class PersonLocationGraph:
     #: which is what gives graph partitioning its locality to exploit.
     person_region: np.ndarray | None = None
     location_region: np.ndarray | None = None
+    #: Where the arrays live (``repro.synthpop.store.PopulationBacking``
+    #: or None for plain RAM arrays).  Carried so the backing's temp
+    #: files share the graph's lifetime; content is identical either way.
+    backing: object | None = field(default=None, repr=False, compare=False)
     # Lazily built CSR indexes (by-person and by-location views).
     _person_ptr: np.ndarray | None = field(default=None, repr=False)
     _loc_order: np.ndarray | None = field(default=None, repr=False)
@@ -104,23 +124,96 @@ class PersonLocationGraph:
         """Number of visit edges."""
         return int(self.visit_person.shape[0])
 
+    def iter_visit_chunks(
+        self, chunk_rows: int = VISIT_CHUNK_ROWS, align_persons: bool = False
+    ) -> Iterator[slice]:
+        """Row slices covering the visit table in bounded pieces.
+
+        The streaming access path for memmap-backed graphs: consumers
+        accumulate per-chunk partial results (bincounts, load sums)
+        instead of materialising O(n_visits) temporaries.  With
+        ``align_persons=True`` chunk boundaries are snapped so no
+        person's visits straddle two chunks (the visit arrays are
+        person-sorted), which makes per-chunk pair deduplication exact.
+        """
+        n = self.n_visits
+        chunk_rows = max(1, int(chunk_rows))
+        lo = 0
+        while lo < n:
+            hi = min(n, lo + chunk_rows)
+            if align_persons and hi < n:
+                boundary_person = int(self.visit_person[hi - 1])
+                # Extend until the person at the boundary is complete.
+                while hi < n and int(self.visit_person[hi]) == boundary_person:
+                    hi += 1
+            yield slice(lo, hi)
+            lo = hi
+
     @property
     def person_degrees(self) -> np.ndarray:
-        """Visits per person (the person-phase message count)."""
-        return np.bincount(self.visit_person, minlength=self.n_persons)
+        """Visits per person (the person-phase message count).
+
+        Accumulated chunk-by-chunk so partitioner inputs never hold the
+        whole visit table in RAM on memmap-backed graphs.
+        """
+        out = np.zeros(self.n_persons, dtype=np.int64)
+        for sl in self.iter_visit_chunks():
+            out += np.bincount(self.visit_person[sl], minlength=self.n_persons)
+        return out
 
     @property
     def location_visit_counts(self) -> np.ndarray:
-        """Visit edges per location (2 DES events each)."""
-        return np.bincount(self.visit_location, minlength=self.n_locations)
+        """Visit edges per location (2 DES events each); chunk-accumulated."""
+        out = np.zeros(self.n_locations, dtype=np.int64)
+        for sl in self.iter_visit_chunks():
+            out += np.bincount(self.visit_location[sl], minlength=self.n_locations)
+        return out
 
     def location_in_degrees(self) -> np.ndarray:
-        """Unique visitors per location — the paper's Figure 3(c) metric."""
-        pairs = np.unique(
-            self.visit_location.astype(np.int64) * self.n_persons
-            + self.visit_person.astype(np.int64)
-        )
-        return np.bincount(pairs // self.n_persons, minlength=self.n_locations)
+        """Unique visitors per location — the paper's Figure 3(c) metric.
+
+        Chunked with person-aligned boundaries: a (location, person)
+        pair can repeat only within one person's visit block, so
+        per-chunk ``np.unique`` over pair keys is globally exact.
+        """
+        out = np.zeros(self.n_locations, dtype=np.int64)
+        for sl in self.iter_visit_chunks(align_persons=True):
+            pairs = np.unique(
+                self.visit_location[sl].astype(np.int64) * self.n_persons
+                + self.visit_person[sl].astype(np.int64)
+            )
+            out += np.bincount(pairs // self.n_persons, minlength=self.n_locations)
+        return out
+
+    def content_hash(self) -> str:
+        """BLAKE2b digest of the graph's full content.
+
+        Streamed over visit chunks, so hashing a memmap-backed graph
+        never materialises it; bit-identical RAM and memmap populations
+        hash identically (the property the streaming tests pin).
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(f"{self.n_persons},{self.n_locations};".encode())
+        cols = [
+            ("visit_person", self.visit_person),
+            ("visit_location", self.visit_location),
+            ("visit_subloc", self.visit_subloc),
+            ("visit_start", self.visit_start),
+            ("visit_end", self.visit_end),
+            ("location_n_sublocs", self.location_n_sublocs),
+            ("location_type", self.location_type),
+            ("person_age", self.person_age),
+            ("person_home", self.person_home),
+        ]
+        if self.person_region is not None:
+            cols.append(("person_region", self.person_region))
+            cols.append(("location_region", self.location_region))
+        for name, arr in cols:
+            h.update(f"{name}:{arr.dtype.str};".encode())
+            step = max(1, (1 << 25) // max(1, arr.itemsize))
+            for lo in range(0, arr.shape[0], step):
+                h.update(np.ascontiguousarray(arr[lo : lo + step]).tobytes())
+        return h.hexdigest()
 
     # ------------------------------------------------------------------
     # CSR indexes
@@ -282,10 +375,25 @@ class PersonLocationGraph:
 
         Returns ``(person_ids, location_ids, weights)`` where weight is
         the number of visits on that (person, location) pair — the edge
-        weight handed to the graph partitioner.
+        weight handed to the graph partitioner.  Deduplication runs per
+        person-aligned chunk (pairs never straddle chunks, and persons
+        ascend across chunks, so concatenated per-chunk uniques are the
+        exact global edge list) — the O(n_visits) temporaries of the
+        one-shot ``np.unique`` never exist; only the O(n_edges) output
+        does.
         """
-        key = self.visit_person.astype(np.int64) * self.n_locations + self.visit_location
-        uniq, counts = np.unique(key, return_counts=True)
+        ids: list[np.ndarray] = []
+        cnts: list[np.ndarray] = []
+        for sl in self.iter_visit_chunks(align_persons=True):
+            key = (
+                self.visit_person[sl].astype(np.int64) * self.n_locations
+                + self.visit_location[sl]
+            )
+            u, c = np.unique(key, return_counts=True)
+            ids.append(u)
+            cnts.append(c)
+        uniq = np.concatenate(ids) if ids else np.empty(0, dtype=np.int64)
+        counts = np.concatenate(cnts) if cnts else np.empty(0, dtype=np.int64)
         return (
             (uniq // self.n_locations).astype(np.int64),
             (uniq % self.n_locations).astype(np.int64),

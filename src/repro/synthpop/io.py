@@ -22,7 +22,16 @@ _FORMAT_VERSION = 1
 
 
 def save_population(graph: PersonLocationGraph, path: str | Path) -> None:
-    """Write ``graph`` to ``path`` (``.npz`` appended if missing)."""
+    """Write ``graph`` to ``path`` (``.npz`` appended if missing).
+
+    >>> import tempfile, os
+    >>> from repro.synthpop import PopulationConfig, generate_population
+    >>> g = generate_population(PopulationConfig(n_persons=40), 0)
+    >>> p = os.path.join(tempfile.mkdtemp(), "pop.npz")
+    >>> save_population(g, p)
+    >>> load_population(p).n_persons
+    40
+    """
     path = Path(path)
     header = {
         "format_version": _FORMAT_VERSION,
@@ -49,7 +58,16 @@ def save_population(graph: PersonLocationGraph, path: str | Path) -> None:
 
 
 def load_population(path: str | Path) -> PersonLocationGraph:
-    """Read a graph previously written by :func:`save_population`."""
+    """Read a graph previously written by :func:`save_population`.
+
+    >>> import tempfile, os
+    >>> from repro.synthpop import PopulationConfig, generate_population
+    >>> g = generate_population(PopulationConfig(n_persons=30), 1)
+    >>> p = os.path.join(tempfile.mkdtemp(), "x")
+    >>> save_population(g, p)   # '.npz' appended on save and load
+    >>> load_population(p).n_visits == g.n_visits
+    True
+    """
     path = Path(path)
     if not path.exists() and path.with_suffix(".npz").exists():
         path = path.with_suffix(".npz")

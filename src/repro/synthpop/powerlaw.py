@@ -41,6 +41,12 @@ def pareto_attractiveness(
         Support bounds; ``x_max=None`` means unbounded.  Bounding the
         tail models the physical cap on location capacity (a stadium is
         large but finite) and keeps tiny test populations well-behaved.
+
+    >>> import numpy as np
+    >>> x = pareto_attractiveness(np.random.default_rng(0), 1000, beta=2.0,
+    ...                           x_min=1.0, x_max=100.0)
+    >>> bool((x >= 1.0).all() and (x <= 100.0).all())
+    True
     """
     if n < 0:
         raise ValueError("n must be non-negative")
@@ -72,6 +78,12 @@ def bounded_zipf_sample(
     Used directly by tests and by the analytic speedup-bound experiments
     (Figure 5) where we need degree samples without building a full
     population.
+
+    >>> import numpy as np
+    >>> d = bounded_zipf_sample(np.random.default_rng(0), 500, beta=2.0,
+    ...                         d_min=1, d_max=50)
+    >>> int(d.min()) >= 1 and int(d.max()) <= 50
+    True
     """
     if d_min < 1 or d_max < d_min:
         raise ValueError("need 1 <= d_min <= d_max")

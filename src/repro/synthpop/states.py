@@ -26,7 +26,11 @@ __all__ = ["StatePreset", "STATE_PRESETS", "state_population", "synthetic_state_
 
 @dataclass(frozen=True)
 class StatePreset:
-    """A Table-I row: full-scale counts for one region."""
+    """A Table-I row: full-scale counts for one region.
+
+    >>> round(STATE_PRESETS["IA"].visits_per_person, 1)
+    5.5
+    """
 
     name: str
     visits: int
@@ -92,6 +96,10 @@ def state_population(
     config_overrides:
         Extra :class:`PopulationConfig` fields (e.g. a different
         ``attractiveness_beta``).
+
+    >>> g = state_population("WY", scale=2e-4, seed=1)
+    >>> g.name, g.n_persons
+    ('WY@0.0002', 100)
     """
     if state not in STATE_PRESETS:
         raise KeyError(f"unknown state {state!r}; choose from {sorted(STATE_PRESETS)}")
@@ -119,6 +127,10 @@ def synthetic_state_sweep(
     Used by the Figure-5 reproduction (one dot per state).  States in
     Table I use their exact Table-I ratios; the rest use the US-wide
     ratios with their 2009 census population.
+
+    >>> sweep = synthetic_state_sweep(scale=2e-5, seed=0)
+    >>> len(sweep), sweep["WY"].n_persons >= 50
+    (49, True)
     """
     out: dict[str, PersonLocationGraph] = {}
     us = STATE_PRESETS["US"]

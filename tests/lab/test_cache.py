@@ -147,3 +147,57 @@ class TestDiskPersistence:
         assert (g1.visit_location == g2.visit_location).all()
         assert (p1.location_part == p2.location_part).all()
         assert np.array_equal(p1.person_part, p2.person_part)
+
+
+class TestStreamedPopulations:
+    """Memmap-backed streamed populations persist as ``pop/<key>.d``
+    directories: the generation backing is *renamed* into the cache
+    (zero-copy), and later loads memmap the columns back."""
+
+    def _spec(self, backing):
+        return PopulationSpec(
+            kind="streamed", n_persons=400, seed=6, backing=backing
+        )
+
+    def test_memmap_build_stores_directory_artifact(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        graph = cache.population(self._spec("memmap"))
+        key = self._spec("memmap").content_hash()
+        d = tmp_path / "pop" / f"{key}.d"
+        assert d.is_dir() and (d / "header.json").exists()
+        # persist() handed the temp dir to the cache: same files.
+        assert graph.backing.dir == d and not graph.backing.owned
+
+    def test_directory_artifact_hits_and_memmaps(self, tmp_path):
+        ArtifactCache(root=tmp_path).population(self._spec("memmap"))
+        second = ArtifactCache(root=tmp_path)
+        loaded = second.population(self._spec("memmap"))
+        assert second.stats.pop_builds == 0 and second.stats.pop_hits == 1
+        assert isinstance(loaded.visit_person, np.memmap)
+
+    def test_backing_variants_share_one_artifact(self, tmp_path):
+        """backing is execution-only: a ram request hits the memmap
+        artifact and vice versa (one key, one build)."""
+        first = ArtifactCache(root=tmp_path)
+        built = first.population(self._spec("memmap"))
+        second = ArtifactCache(root=tmp_path)
+        loaded = second.population(self._spec("ram"))
+        assert second.stats.pop_builds == 0
+        assert loaded.content_hash() == built.content_hash()
+
+    def test_ram_build_stores_npz(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        cache.population(self._spec("ram"))
+        key = self._spec("ram").content_hash()
+        assert (tmp_path / "pop" / f"{key}.npz").exists()
+
+    def test_streamed_sweep_caches_clean(self, tmp_path):
+        config = sweep_config(
+            base=base_spec(population=self._spec("memmap"))
+        )
+        run_sweep(config, workers=0, store_dir=tmp_path / "s1",
+                  cache_dir=tmp_path / "cache")
+        with observe.observing() as obs:
+            run_sweep(config, workers=0, store_dir=tmp_path / "s2",
+                      cache_dir=tmp_path / "cache")
+        assert build_span_names(obs) == []

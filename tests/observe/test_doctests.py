@@ -1,10 +1,10 @@
 """Every documented example in the audited public APIs must run.
 
 The docstring-audit contract: each ``__all__`` export of
-``repro.observe``, ``repro.validate`` and ``repro.charm.trace``
-carries a runnable example.  CI also runs ``pytest --doctest-modules
-src/repro/observe`` directly; this tier-1 test keeps the guarantee
-under a plain ``pytest tests/`` run too.
+``repro.observe``, ``repro.validate``, ``repro.charm.trace`` and
+``repro.synthpop`` carries a runnable example.  CI also runs ``pytest
+--doctest-modules`` over these trees directly; this tier-1 test keeps
+the guarantee under a plain ``pytest tests/`` run too.
 """
 
 import doctest
@@ -15,6 +15,13 @@ import repro.charm.trace
 import repro.observe.export
 import repro.observe.profile
 import repro.observe.recorder
+import repro.synthpop.generator
+import repro.synthpop.graph
+import repro.synthpop.io
+import repro.synthpop.powerlaw
+import repro.synthpop.states
+import repro.synthpop.store
+import repro.synthpop.stream
 import repro.validate.invariants
 import repro.validate.oracle
 
@@ -25,6 +32,13 @@ MODULES = [
     repro.charm.trace,
     repro.validate.invariants,
     repro.validate.oracle,
+    repro.synthpop.generator,
+    repro.synthpop.graph,
+    repro.synthpop.io,
+    repro.synthpop.powerlaw,
+    repro.synthpop.states,
+    repro.synthpop.store,
+    repro.synthpop.stream,
 ]
 
 
@@ -42,6 +56,7 @@ def _documented_exports(mod):
 @pytest.mark.parametrize("mod", [
     __import__("repro.observe", fromlist=["x"]),
     __import__("repro.validate", fromlist=["x"]),
+    __import__("repro.synthpop", fromlist=["x"]),
     repro.charm.trace,
 ], ids=lambda m: m.__name__)
 def test_every_export_has_docstring_with_example(mod):

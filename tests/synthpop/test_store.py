@@ -1,0 +1,130 @@
+"""PopulationBacking lifecycle and the directory population format."""
+
+from __future__ import annotations
+
+import gc
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.synthpop import (
+    PopulationBacking,
+    PopulationConfig,
+    generate_population,
+    generate_population_streamed,
+    load_population_dir,
+    save_population_dir,
+)
+
+
+class TestBacking:
+    def test_ram_allocate(self):
+        b = PopulationBacking.create("ram")
+        a = b.allocate("x", (10,), np.int32)
+        assert a.shape == (10,) and a.dtype == np.int32 and (a == 0).all()
+        assert b.nbytes == 40
+
+    def test_memmap_allocate_creates_npy(self):
+        b = PopulationBacking.create("memmap")
+        a = b.allocate("visit_start", (100,), np.int32)
+        a[:] = np.arange(100)
+        f = Path(b.dir) / "visit_start.npy"
+        assert f.exists()
+        b.flush()
+        np.testing.assert_array_equal(np.load(f), np.arange(100))
+        b.close()
+
+    def test_duplicate_name_rejected(self):
+        b = PopulationBacking.create("ram")
+        b.allocate("x", (1,), np.int8)
+        with pytest.raises(ValueError, match="already allocated"):
+            b.allocate("x", (1,), np.int8)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="ram.*memmap"):
+            PopulationBacking("weird")
+
+    def test_close_removes_owned_dir(self):
+        b = PopulationBacking.create("memmap")
+        d = Path(b.dir)
+        b.allocate("x", (5,), np.int64)
+        b.close()
+        assert not d.exists()
+
+    def test_gc_removes_owned_dir(self):
+        b = PopulationBacking.create("memmap")
+        d = Path(b.dir)
+        del b
+        gc.collect()
+        assert not d.exists()
+
+    def test_persist_moves_and_disarms_cleanup(self, tmp_path):
+        b = PopulationBacking.create("memmap")
+        a = b.allocate("x", (4,), np.int64)
+        a[:] = 7
+        target = tmp_path / "artifact"
+        assert b.persist(target) == target
+        assert not b.owned
+        del b
+        gc.collect()
+        np.testing.assert_array_equal(np.load(target / "x.npy"), [7, 7, 7, 7])
+
+    def test_persist_requires_ownership(self, tmp_path):
+        (tmp_path / "pre").mkdir()
+        b = PopulationBacking("memmap", tmp_path / "pre", owned=False)
+        with pytest.raises(ValueError, match="own"):
+            b.persist(tmp_path / "out")
+
+    def test_ram_cannot_persist(self, tmp_path):
+        with pytest.raises(ValueError, match="memmap"):
+            PopulationBacking.create("ram").persist(tmp_path / "out")
+
+
+class TestPopulationDir:
+    def test_round_trip_dense_graph(self, tmp_path):
+        # The directory format also accepts plain dense graphs.
+        g = generate_population(PopulationConfig(n_persons=150), 3)
+        d = save_population_dir(g, tmp_path / "dense.d")
+        g2 = load_population_dir(d)
+        assert g2.content_hash() == g.content_hash()
+        assert g2.name == g.name
+
+    def test_mmap_false_loads_plain_arrays(self, tmp_path):
+        g = generate_population_streamed(PopulationConfig(n_persons=80), 2)
+        d = save_population_dir(g, tmp_path / "p.d")
+        g2 = load_population_dir(d, mmap=False)
+        assert not isinstance(g2.visit_person, np.memmap)
+        assert g2.content_hash() == g.content_hash()
+
+    def test_regions_round_trip(self, tmp_path):
+        g = generate_population_streamed(
+            PopulationConfig(n_persons=120, n_regions=3), 2
+        )
+        g2 = load_population_dir(save_population_dir(g, tmp_path / "r.d"))
+        np.testing.assert_array_equal(
+            np.asarray(g2.person_region), np.asarray(g.person_region)
+        )
+
+    def test_missing_column_rejected(self, tmp_path):
+        g = generate_population_streamed(PopulationConfig(n_persons=50), 0)
+        d = save_population_dir(g, tmp_path / "bad.d")
+        (d / "visit_start.npy").unlink()
+        with pytest.raises(ValueError, match="visit_start"):
+            load_population_dir(d)
+
+    def test_bad_format_version_rejected(self, tmp_path):
+        g = generate_population_streamed(PopulationConfig(n_persons=50), 0)
+        d = save_population_dir(g, tmp_path / "v.d")
+        header = d / "header.json"
+        header.write_text(header.read_text().replace('"format_version": 1', '"format_version": 99'))
+        with pytest.raises(ValueError, match="format"):
+            load_population_dir(d)
+
+    def test_loaded_graph_backing_not_owned(self, tmp_path):
+        g = generate_population_streamed(PopulationConfig(n_persons=50), 0)
+        d = save_population_dir(g, tmp_path / "keep.d")
+        g2 = load_population_dir(d)
+        del g2
+        gc.collect()
+        assert d.is_dir()  # loading never claims ownership

@@ -67,6 +67,48 @@ class TestSweepArtifact:
         assert payload["params"]["warm_cache_hit_rate"] == 1.0
 
 
+class TestSynthpopScaleArtifact:
+    """BENCH_synthpop_scale.json: the scaling playbook's evidence.
+
+    The committed artifact must show a ≥10M-person population generated
+    and block-partitioned on a capped anonymous-memory budget, with the
+    bytes/person accounting and the RAM↔memmap equality proofs intact
+    (see docs/scaling.md and ISSUE acceptance criteria).
+    """
+
+    @pytest.fixture()
+    def payload(self):
+        path = REPO_ROOT / "BENCH_synthpop_scale.json"
+        assert path in bench_artifacts(), "BENCH_synthpop_scale.json not committed"
+        return json.loads(path.read_text())
+
+    def test_ten_million_persons_reached(self, payload):
+        assert payload["params"]["max_persons"] >= 10_000_000
+        assert payload["params"]["tiny"] is False, (
+            "committed artifact must come from a full run, not REPRO_BENCH_TINY"
+        )
+
+    def test_memory_accounting_present(self, payload):
+        p = payload["params"]
+        assert p["bytes_per_person"] > 0
+        assert p["budget_bytes"] > 0
+        assert any(k.startswith("maxrss_mb_") for k in p)
+        assert any(k.startswith("disk_mb_") for k in p)
+
+    def test_memmap_path_verified(self, payload):
+        p = payload["params"]
+        assert p["memmap_verified"] is True
+        assert p["content_hash_equal"] is True
+        assert p["epidemic_equal"] is True
+        assert p["spec_hash_equal"] is True
+
+    def test_generation_and_partition_timed_per_scale(self, payload):
+        wall = payload["wall_seconds"]
+        for n in payload["params"]["scales"]:
+            label = f"{n // 1000}k" if n < 1_000_000 else f"{n // 1_000_000}m"
+            assert f"gen_{label}" in wall and f"part_{label}" in wall
+
+
 class TestSingleEmitter:
     @pytest.mark.parametrize("path", bench_scripts(), ids=lambda p: p.name)
     def test_no_direct_bench_json_writes(self, path):
