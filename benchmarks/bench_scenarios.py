@@ -1,0 +1,125 @@
+"""Per-component scenario overhead vs the plain-SIR baseline.
+
+Each registered :mod:`repro.scenarios` entry runs on the sequential
+simulator over the same synthetic population as a plain SIR scenario
+with no components; the reported ``speedup`` is the plain-SIR wall
+time divided by the scenario's (< 1 means the scenario costs more than
+the bare model, as expected — richer PTTS graphs and extra day-phase
+hooks).  The bench asserts every scenario stays within a generous
+overhead budget so a regression in a component's day loop (e.g. an
+accidental per-person Python loop over the whole population) fails CI.
+
+Runs standalone (the CI smoke step) or under pytest:
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py
+    PYTHONPATH=src REPRO_BENCH_TINY=1 python benchmarks/bench_scenarios.py
+
+``REPRO_BENCH_TINY=1`` shrinks the population to smoke-test scale and
+skips the overhead assertion (shared CI runners make ratios unreliable
+at millisecond run times); the runs themselves still execute.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from emit import emit_result  # noqa: E402
+
+from repro.core import Scenario, TransmissionModel  # noqa: E402
+from repro.core.disease import sir_model  # noqa: E402
+from repro.core.simulator import SequentialSimulator  # noqa: E402
+from repro.scenarios import build_scenario, names  # noqa: E402
+from repro.spec import PopulationSpec  # noqa: E402
+
+TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
+
+N_PERSONS = 300 if TINY else 4_000
+N_DAYS = 3 if TINY else 12
+REPEATS = 1 if TINY else 3
+SEED = 0
+TRANSMISSIBILITY = 3e-4
+#: Worst acceptable scenario cost relative to plain SIR (wall ratio).
+MAX_OVERHEAD = 8.0
+
+
+def time_run(scenario) -> tuple[float, int]:
+    """Best-of-REPEATS wall time of a full sequential run."""
+    best = float("inf")
+    total = 0
+    for _ in range(REPEATS):
+        sim = SequentialSimulator(scenario)
+        t0 = time.perf_counter()
+        result = sim.run()
+        best = min(best, time.perf_counter() - t0)
+        total = result.total_infections
+    return best, total
+
+
+def main() -> int:
+    graph = PopulationSpec(
+        n_persons=N_PERSONS, seed=SEED, name="bench-scenarios"
+    ).build()
+    print(f"scenario overhead bench: {graph.n_persons:,} persons × "
+          f"{N_DAYS} days, best of {REPEATS}{' [tiny]' if TINY else ''}")
+    print()
+
+    baseline = Scenario(
+        graph=graph, disease=sir_model(), n_days=N_DAYS, seed=SEED,
+        initial_infections=10, transmission=TransmissionModel(TRANSMISSIBILITY),
+    )
+    base_wall, base_total = time_run(baseline)
+
+    walls = {"plain-sir": base_wall}
+    ratios = {}
+    totals = {"plain-sir": base_total}
+    for name in names():
+        sc = build_scenario(
+            name, graph, n_days=N_DAYS, seed=SEED,
+            transmissibility=TRANSMISSIBILITY,
+        )
+        walls[name], totals[name] = time_run(sc)
+        ratios[name] = base_wall / walls[name]
+
+    print(f"{'scenario':>20} {'time':>10} {'vs plain':>9} {'infections':>11}")
+    for name, wall in walls.items():
+        rel = base_wall / wall if wall else float("inf")
+        print(f"{name:>20} {wall * 1e3:>8.1f}ms {rel:>8.2f}x {totals[name]:>11}")
+    print()
+
+    path = emit_result(
+        "scenarios",
+        params={
+            "n_persons": graph.n_persons,
+            "n_days": N_DAYS,
+            "repeats": REPEATS,
+            "tiny": TINY,
+        },
+        wall_seconds=walls,
+        speedup=ratios,
+    )
+    print(f"wrote {path}")
+
+    if not TINY:
+        over = {
+            n: walls[n] / base_wall
+            for n in names() if walls[n] > base_wall * MAX_OVERHEAD
+        }
+        if over:
+            print(f"FAIL: scenario overhead above {MAX_OVERHEAD}x plain SIR: "
+                  + ", ".join(f"{n} ({r:.1f}x)" for n, r in over.items()))
+            return 1
+        print(f"all scenarios within {MAX_OVERHEAD}x of the plain-SIR baseline")
+    return 0
+
+
+def test_scenario_overhead():
+    """Pytest entry point for the same measurement."""
+    assert main() == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,7 @@ Commands
 ``info``       summarise a saved population
 ``simulate``   run the sequential simulator, print the epidemic curve
 ``run``        run a scenario on a chosen backend (seq / charm / smp)
+``scenarios``  list/show the registered model-component scenarios
 ``partition``  partition a population and report quality metrics
 ``scale``      analytic strong-scaling sweep (Figure-13 style)
 ``validate``   differential sequential↔parallel oracle + golden traces
@@ -93,12 +94,28 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument(
         "--kernel", choices=["flat", "grouped", "compiled"], default=None
     )
+    r.add_argument("--scenario", default=None, metavar="NAME",
+                   help="run a registered scenario (disease model + model "
+                        "components); see 'repro scenarios list'")
+    r.add_argument("--scenario-param", action="append", default=None,
+                   metavar="KEY=VALUE",
+                   help="override one scenario parameter (repeatable, "
+                        "values parsed as JSON)")
     r.add_argument("--spec", default=None, metavar="PATH",
                    help="load the full RunSpec from a .json/.toml file "
                         "(replaces the population/parameter flags)")
     r.add_argument("--save-spec", default=None, metavar="PATH",
                    help="also write the assembled RunSpec (.toml by suffix, "
                         "JSON otherwise)")
+
+    n = sub.add_parser(
+        "scenarios", help="list the registered model-component scenarios"
+    )
+    n.add_argument("action", nargs="?", default="list", choices=["list", "show"],
+                   help="list = one line per scenario; show = full parameter "
+                        "table for --name")
+    n.add_argument("--name", default=None,
+                   help="scenario to show (with action 'show')")
 
     q = sub.add_parser("partition", help="partition a population, report quality")
     q.add_argument("population", help=".npz path")
@@ -140,6 +157,10 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--smp", action="store_true",
                    help="also certify the shared-memory backend (real worker "
                         "processes) against the sequential reference")
+    v.add_argument("--scenarios", action="store_true",
+                   help="also run the scenario differential matrix: every "
+                        "registered scenario across seq kernels, the charm "
+                        "backend and smp worker counts")
     v.add_argument("--smp-workers", type=int, nargs="+", default=[1, 2, 4],
                    help="worker counts for the --smp cells")
     v.add_argument("--external", action="store_true",
@@ -315,6 +336,8 @@ def _cmd_simulate(args) -> int:
 
 def _run_spec_from_args(args):
     """Assemble (or load) the RunSpec behind ``repro run``."""
+    import json
+
     from repro.spec import PopulationSpec, RunSpec, RuntimeSpec
 
     if args.spec is not None:
@@ -334,12 +357,25 @@ def _run_spec_from_args(args):
             )
     else:
         population = PopulationSpec(kind="file", path=args.population)
+    scenario_params = {}
+    for token in args.scenario_param or []:
+        key, eq, value = token.partition("=")
+        if not eq:
+            raise ValueError(
+                f"--scenario-param expects KEY=VALUE (got {token!r})"
+            )
+        try:
+            scenario_params[key.strip()] = json.loads(value)
+        except ValueError:
+            scenario_params[key.strip()] = value
     return RunSpec(
         population=population,
         n_days=args.days,
         seed=args.seed,
         initial_infections=args.index_cases,
         transmissibility=args.transmissibility,
+        scenario=args.scenario or "",
+        scenario_params=scenario_params,
         runtime=RuntimeSpec(
             backend=args.backend, workers=args.workers, kernel=args.kernel
         ),
@@ -401,6 +437,25 @@ def _cmd_run(args) -> int:
     print(f"attack rate  : {curve.attack_rate(graph.n_persons):.1%}")
     print(f"peak day     : {curve.peak_day}")
     print(f"total cases  : {result.total_infections}")
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    from repro.scenarios import get, names
+
+    if args.action == "show":
+        if not args.name:
+            print("error: 'scenarios show' needs --name", file=sys.stderr)
+            return 2
+        defn = get(args.name)
+        print(f"{defn.name}: {defn.description}")
+        for key, value in sorted(defn.defaults.items()):
+            print(f"  {key:<22} {value}")
+        return 0
+    width = max(len(n) for n in names())
+    for name in names():
+        defn = get(name)
+        print(f"{name:<{width}}  {defn.description}")
     return 0
 
 
@@ -524,6 +579,19 @@ def _cmd_validate(args) -> int:
         )
         print(sreport.format())
         ok = ok and sreport.all_equal
+
+    if args.scenarios:
+        from repro.validate.oracle import run_scenario_matrix
+
+        screport = run_scenario_matrix(
+            workers=(1, 2) if args.quick else (1, 2, 4),
+            n_days=n_days,
+            seed=args.seed,
+            kernel=args.kernel,
+            progress=lambda line: print("  " + line),
+        )
+        print(screport.format())
+        ok = ok and screport.all_equal
 
     if args.external:
         from repro.validate.external import run_external_oracle
@@ -686,6 +754,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "simulate": _cmd_simulate,
     "run": _cmd_run,
+    "scenarios": _cmd_scenarios,
     "partition": _cmd_partition,
     "scale": _cmd_scale,
     "validate": _cmd_validate,

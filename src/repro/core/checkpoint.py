@@ -7,7 +7,11 @@ is keyed by ``(day, entity)``, resuming from a checkpoint reproduces
 the uninterrupted run *exactly*; the tests assert bit-equality.
 
 The checkpoint captures the PTTS arrays, the epidemic bookkeeping, the
-curve so far, and every intervention's trigger state.
+curve so far, and the declared mutable state of every intervention and
+model component (via ``checkpoint_state`` / ``restore_state`` on
+:class:`~repro.core.interventions.Intervention`): trigger state in the
+JSON header, array-valued state — contact-tracing rosters, quarantine
+clocks — as first-class npz arrays.
 """
 
 from __future__ import annotations
@@ -17,7 +21,6 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.interventions import _Trigger
 from repro.core.metrics import EpiCurve
 from repro.core.scenario import Scenario
 from repro.core.simulator import SequentialSimulator
@@ -27,37 +30,45 @@ __all__ = ["save_checkpoint", "load_checkpoint"]
 _FORMAT_VERSION = 1
 
 
-def _intervention_states(scenario: Scenario) -> list[dict]:
-    """Serialisable mutable state of every intervention, in order."""
-    out = []
-    for iv in scenario.interventions:
+def _component_states(scenario: Scenario) -> tuple[list[dict], dict]:
+    """Declared state of every scheduled component, split into the
+    JSON-safe header entries and the npz arrays (referenced from the
+    header by ``{"__array__": <npz key>}`` markers)."""
+    header_states: list[dict] = []
+    arrays: dict[str, np.ndarray] = {}
+    for i, state in enumerate(scenario.interventions.checkpoint_state()):
+        entry: dict = {}
+        for key, value in state.items():
+            if isinstance(value, np.ndarray):
+                akey = f"comp{i}_{key}"
+                arrays[akey] = value
+                entry[key] = {"__array__": akey}
+            else:
+                entry[key] = value
+        header_states.append(entry)
+    return header_states, arrays
+
+
+def _restore_component_states(
+    scenario: Scenario, states: list[dict], data
+) -> None:
+    resolved = []
+    for entry in states:
         state: dict = {}
-        trigger = getattr(iv, "trigger", None)
-        if isinstance(trigger, _Trigger):
-            state["fired_on"] = trigger.fired_on
-        if hasattr(iv, "_done"):
-            state["done"] = bool(iv._done)
-        out.append(state)
-    return out
-
-
-def _restore_intervention_states(scenario: Scenario, states: list[dict]) -> None:
-    if len(states) != len(scenario.interventions.interventions):
-        raise ValueError(
-            "checkpoint intervention count does not match the scenario's"
-        )
-    for iv, state in zip(scenario.interventions, states):
-        trigger = getattr(iv, "trigger", None)
-        if isinstance(trigger, _Trigger) and "fired_on" in state:
-            trigger.fired_on = state["fired_on"]
-        if hasattr(iv, "_done") and "done" in state:
-            iv._done = state["done"]
+        for key, value in entry.items():
+            if isinstance(value, dict) and "__array__" in value:
+                state[key] = np.array(data[value["__array__"]])
+            else:
+                state[key] = value
+        resolved.append(state)
+    scenario.interventions.restore_state(resolved)
 
 
 def save_checkpoint(sim: SequentialSimulator, path: str | Path) -> None:
     """Write the simulator's full state to ``path`` (npz)."""
     path = Path(path)
     curve_arrays = sim_curve(sim)
+    states, state_arrays = _component_states(sim.scenario)
     header = {
         "format_version": _FORMAT_VERSION,
         "day": sim.day,
@@ -65,7 +76,7 @@ def save_checkpoint(sim: SequentialSimulator, path: str | Path) -> None:
         "scenario_seed": sim.scenario.seed,
         "n_persons": sim.scenario.graph.n_persons,
         "graph_name": sim.scenario.graph.name,
-        "interventions": _intervention_states(sim.scenario),
+        "interventions": states,
     }
     np.savez_compressed(
         path,
@@ -76,6 +87,7 @@ def save_checkpoint(sim: SequentialSimulator, path: str | Path) -> None:
         ever_infected=sim._ever_infected,
         curve_new=curve_arrays["new_infections"],
         curve_prev=curve_arrays["prevalence"],
+        **state_arrays,
     )
 
 
@@ -117,7 +129,7 @@ def load_checkpoint(scenario: Scenario, path: str | Path) -> SequentialSimulator
         sim._ever_infected[:] = data["ever_infected"]
         sim.day = int(header["day"])
         sim._seeded = bool(header["seeded"])
-        _restore_intervention_states(scenario, header["interventions"])
+        _restore_component_states(scenario, header["interventions"], data)
         curve = EpiCurve()
         for n, p in zip(data["curve_new"].tolist(), data["curve_prev"].tolist()):
             curve.record_day(int(n), float(p))

@@ -191,6 +191,13 @@ class DiseaseModel:
         Mapping ``treatment -> state name`` entered upon receiving an
         infect message.  Missing treatments fall back to UNTREATED's
         entry state.
+    infection_entry_by_state:
+        Optional mapping ``current state name -> entry state name``
+        overriding the treatment-based entry for persons infected
+        *while in* that state.  This is how partially-immune states
+        route to a different lane (e.g. two-variant cross-immunity:
+        recovered-from-A persons reinfect into the variant-B lane).
+        States listed here must have ``susceptibility > 0``.
     """
 
     def __init__(
@@ -198,6 +205,7 @@ class DiseaseModel:
         states: list[HealthState],
         susceptible: str,
         infection_entry: dict[int, str],
+        infection_entry_by_state: dict[str, str] | None = None,
     ):
         if len({s.name for s in states}) != len(states):
             raise ValueError("duplicate state names")
@@ -212,6 +220,16 @@ class DiseaseModel:
                 raise ValueError(f"unknown infection entry state {name!r} for treatment {t}")
         self.susceptible_index = self.index[susceptible]
         self.infection_entry = dict(infection_entry)
+        self.infection_entry_by_state = dict(infection_entry_by_state or {})
+        for src, dst in self.infection_entry_by_state.items():
+            if src not in self.index or dst not in self.index:
+                raise ValueError(f"unknown state in infection entry {src!r} -> {dst!r}")
+            if self.states[self.index[src]].susceptibility <= 0.0:
+                raise ValueError(f"infection entry source {src!r} is not susceptible")
+        self._entry_by_state_index = {
+            self.index[src]: self.index[dst]
+            for src, dst in self.infection_entry_by_state.items()
+        }
 
         n = len(states)
         self.infectivity = np.array([s.infectivity for s in states], dtype=np.float64)
@@ -334,19 +352,23 @@ class DiseaseModel:
         day: int,
         rng_factory,
     ) -> np.ndarray:
-        """Move ``persons`` from susceptible into their entry state in place.
+        """Move ``persons`` from a susceptible state into their entry state.
 
-        Persons not currently susceptible are ignored (a person may
-        receive several infect messages in one day; the first wins and
-        the rest are dropped, matching the paper's step 5).  Returns the
-        persons actually infected.
+        Persons not currently in a susceptible state (``susceptibility
+        > 0``) are ignored (a person may receive several infect
+        messages in one day; the first wins and the rest are dropped,
+        matching the paper's step 5).  The entry state is chosen per
+        ``infection_entry_by_state`` for partially-immune states, else
+        per treatment.  Returns the persons actually infected.
         """
         persons = np.unique(np.asarray(persons, dtype=np.int64))
-        mask = state[persons] == self.susceptible_index
+        mask = self.is_susceptible[state[persons]]
         hit = persons[mask]
         for p in hit:
             p = int(p)
-            entry = self.entry_state(int(treatment[p]))
+            entry = self._entry_by_state_index.get(int(state[p]))
+            if entry is None:
+                entry = self.entry_state(int(treatment[p]))
             state[p] = entry
             dwell = self.states[entry].dwell
             if dwell.kind == DwellKind.FOREVER:

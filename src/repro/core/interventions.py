@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import abc
 import shlex
+import struct
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -66,10 +67,24 @@ class DayContext:
     prevalence: float
     cumulative_attack: float
     rng_factory: RngFactory
+    #: live dwell-timer array; set wherever components may edit state
+    #: (the central driver), None on chare/worker contexts that only
+    #: filter visits.
+    days_remaining: np.ndarray | None = None
 
 
 class Intervention(abc.ABC):
-    """Base class; subclasses override one or both hooks.
+    """Base class — the *model component* protocol.
+
+    Subclasses override any subset of the day-phase hooks:
+
+    * :meth:`update_treatments` — central, before PTTS transitions;
+    * :meth:`filter_visits` — during the person phase, possibly on a
+      row subset;
+    * :meth:`post_apply` — central, after the apply phase (the day's
+      infections are in), before the day's prevalence is recorded.
+      This is where components edit PTTS state directly (vaccination
+      moving persons into a waning state, hospital overflow, rebirth).
 
     ``filter_visits`` receives an optional ``rows`` array of visit
     indices: ``keep[i]`` corresponds to visit ``rows[i]``.  This is how
@@ -77,7 +92,24 @@ class Intervention(abc.ABC):
     ``rows=None`` means "all visits" (the sequential path).  Filters
     must only depend on per-visit/per-person data plus trigger state,
     so row-subset evaluation equals whole-array evaluation.
+
+    Components additionally declare their mutable state:
+
+    * :meth:`reset` clears it, so one :class:`Scenario` object can be
+      run many times (every simulator calls it at construction);
+    * :meth:`checkpoint_state` / :meth:`restore_state` round-trip it
+      through :mod:`repro.core.checkpoint`;
+    * components whose *filters* depend on centrally-computed state set
+      ``has_wire_state`` and implement :meth:`wire_state` /
+      :meth:`load_wire_state` so the SMP driver can broadcast that
+      state to forked workers with the day kick;
+    * :meth:`extra_transitions` / :meth:`reinfection_possible` tell the
+      invariant checker which out-of-PTTS edits to expect.
     """
+
+    #: True when the component's visit filter depends on central state
+    #: that must be broadcast to SMP workers each day.
+    has_wire_state: bool = False
 
     def update_treatments(self, ctx: DayContext) -> None:
         """Mutate ``ctx.treatment`` in place (e.g. vaccinate).
@@ -89,6 +121,68 @@ class Intervention(abc.ABC):
         self, ctx: DayContext, keep: np.ndarray, rows: np.ndarray | None = None
     ) -> None:
         """Clear entries of the per-visit ``keep`` mask to cancel visits."""
+
+    def post_apply(self, ctx: DayContext) -> None:
+        """Edit person state after the day's infections are applied.
+
+        Runs centrally once per day in every backend, at the same
+        algorithmic point: after the apply phase, before the day's
+        prevalence is computed.  May mutate ``ctx.health_state``,
+        ``ctx.days_remaining`` and ``ctx.treatment``.
+        """
+
+    def reset(self) -> None:
+        """Clear per-run mutable state so the component can run again.
+
+        The default resets the common trigger/one-shot attributes;
+        stateful components override (and call ``super().reset()``).
+        """
+        trigger = getattr(self, "trigger", None)
+        if isinstance(trigger, _Trigger):
+            trigger.fired_on = None
+        if hasattr(self, "_done"):
+            self._done = False
+
+    def checkpoint_state(self) -> dict:
+        """Declared mutable state as ``{name: scalar | ndarray}``.
+
+        The default captures the common trigger/one-shot attributes;
+        stateful components extend the dict (ndarray values are stored
+        as checkpoint arrays, everything else in the JSON header).
+        """
+        state: dict = {}
+        trigger = getattr(self, "trigger", None)
+        if isinstance(trigger, _Trigger):
+            state["fired_on"] = trigger.fired_on
+        if hasattr(self, "_done"):
+            state["done"] = bool(self._done)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Restore what :meth:`checkpoint_state` declared."""
+        trigger = getattr(self, "trigger", None)
+        if isinstance(trigger, _Trigger) and "fired_on" in state:
+            trigger.fired_on = state["fired_on"]
+        if hasattr(self, "_done") and "done" in state:
+            self._done = bool(state["done"])
+
+    def wire_state(self) -> bytes:
+        """Filter-relevant central state as bytes (SMP broadcast)."""
+        return b""
+
+    def load_wire_state(self, blob: bytes) -> None:
+        """Adopt a :meth:`wire_state` blob (called on SMP workers)."""
+
+    def extra_transitions(self, disease) -> list[tuple[str, str]]:
+        """State-name pairs this component may move persons along
+        outside the declared PTTS transitions (for the invariant
+        checker)."""
+        return []
+
+    def reinfection_possible(self, disease) -> bool:
+        """True when the component can return persons to a susceptible
+        state, making cumulative infections exceed unique persons."""
+        return False
 
 
 @dataclass
@@ -311,6 +405,10 @@ class AnxietyContactReduction(Intervention):
         keep[discretionary & anxious[persons]] = False
 
 
+#: wire-state entry header: (component index, payload bytes)
+_WIRE_ENTRY = struct.Struct("<qq")
+
+
 class InterventionSchedule:
     """An ordered bundle of interventions applied each day."""
 
@@ -334,6 +432,58 @@ class InterventionSchedule:
         for iv in self.interventions:
             iv.filter_visits(ctx, keep, rows)
         return keep
+
+    def post_apply(self, ctx: DayContext) -> None:
+        for iv in self.interventions:
+            iv.post_apply(ctx)
+
+    def reset(self) -> None:
+        for iv in self.interventions:
+            iv.reset()
+
+    def checkpoint_state(self) -> list[dict]:
+        return [iv.checkpoint_state() for iv in self.interventions]
+
+    def restore_state(self, states: list[dict]) -> None:
+        if len(states) != len(self.interventions):
+            raise ValueError(
+                f"checkpoint has {len(states)} component state(s), "
+                f"schedule has {len(self.interventions)}"
+            )
+        for iv, state in zip(self.interventions, states):
+            iv.restore_state(state)
+
+    def wire_state(self) -> bytes:
+        """Concatenated per-component wire blobs; b'' when none apply.
+
+        Components with ``has_wire_state`` always get an entry (even a
+        zero-length payload) so workers see state *removals* too.
+        """
+        parts: list[bytes] = []
+        for i, iv in enumerate(self.interventions):
+            if not iv.has_wire_state:
+                continue
+            payload = iv.wire_state()
+            parts.append(_WIRE_ENTRY.pack(i, len(payload)))
+            parts.append(payload)
+        return b"".join(parts)
+
+    def load_wire_state(self, blob: bytes) -> None:
+        offset = 0
+        while offset < len(blob):
+            index, nbytes = _WIRE_ENTRY.unpack_from(blob, offset)
+            offset += _WIRE_ENTRY.size
+            self.interventions[index].load_wire_state(blob[offset:offset + nbytes])
+            offset += nbytes
+
+    def extra_transitions(self, disease) -> list[tuple[str, str]]:
+        edges: list[tuple[str, str]] = []
+        for iv in self.interventions:
+            edges.extend(iv.extra_transitions(disease))
+        return edges
+
+    def reinfection_possible(self, disease) -> bool:
+        return any(iv.reinfection_possible(disease) for iv in self.interventions)
 
 
 # ----------------------------------------------------------------------

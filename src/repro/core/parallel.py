@@ -452,11 +452,18 @@ class ParallelEpiSimdemics:
             else RuntimeSimulator(machine, network, validate=validate)
         )
         self.runtime.ensure_pe_agents()
+        scenario.interventions.reset()
         if validate:
             from repro.validate.invariants import InvariantChecker
 
             self.checker: InvariantChecker | None = InvariantChecker(
-                scenario.graph, scenario.disease, distribution
+                scenario.graph, scenario.disease, distribution,
+                extra_transitions=scenario.interventions.extra_transitions(
+                    scenario.disease
+                ),
+                reinfection_ok=scenario.interventions.reinfection_possible(
+                    scenario.disease
+                ),
             )
         else:
             self.checker = None
@@ -587,6 +594,7 @@ class ParallelEpiSimdemics:
             prevalence=self._prevalence(),
             cumulative_attack=float(self.ever_infected.mean()),
             rng_factory=self.rng_factory,
+            days_remaining=self.days_remaining,
         )
         sc.interventions.update_treatments(self.day_ctx)
         if self.checker is not None:
@@ -596,7 +604,7 @@ class ParallelEpiSimdemics:
         d = self.scenario.disease
         if not hasattr(self, "_terminal_states"):
             self._terminal_states = np.array(
-                [s.dwell.kind.name == "FOREVER" and not s.is_infectious and not s.is_susceptible
+                [s.dwell.kind.name == "FOREVER" and not s.is_infectious
                  for s in d.states]
             )
         now = self.ever_infected & (self.health_state != d.susceptible_index)
@@ -649,6 +657,9 @@ class ParallelEpiSimdemics:
     def finish_day(self, new_infections: int, times: PhaseTimes) -> None:
         """Called by the driver when a day's reduction arrives."""
         total_new = new_infections + (self._seeded_count if self.day == 0 else 0)
+        # Post-apply hook: same algorithmic point as the sequential
+        # simulator (after the apply phase, before prevalence).
+        self.scenario.interventions.post_apply(self.day_ctx)
         prev = self._prevalence()
         self.curve.record_day(total_new, prev)
         if self.checker is not None:

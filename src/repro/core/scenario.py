@@ -36,8 +36,11 @@ class Scenario:
     transmission:
         Transmission coefficients.
     interventions:
-        Intervention schedule; note intervention objects hold trigger
-        state, so build a fresh schedule per run.
+        Intervention schedule.  Intervention objects hold mutable
+        trigger/roster state, but every backend calls
+        :meth:`~repro.core.interventions.InterventionSchedule.reset`
+        at run start, so one scenario can safely be run many times —
+        each run reproduces the same epidemic.
     n_days:
         Simulated days.  The paper notes typical studies run 120–180
         days; tests use much shorter horizons.

@@ -97,6 +97,9 @@ class SequentialSimulator:
         self._ever_infected = np.zeros(g.n_persons, dtype=bool)
         self.day = 0
         self._seeded = False
+        # Interventions/components hold per-run trigger state; clearing
+        # it here makes one Scenario object reusable across runs.
+        scenario.interventions.reset()
 
     @classmethod
     def from_spec(
@@ -125,8 +128,11 @@ class SequentialSimulator:
         # and not yet settled into a terminal (absorbing, inert) state.
         d = self.scenario.disease
         if not hasattr(self, "_terminal_states"):
+            # Non-infectious absorbing states are terminal even when
+            # partially susceptible (e.g. a cross-immune recovered
+            # state): the person is not "currently infected" anymore.
             self._terminal_states = np.array(
-                [s.dwell.kind.name == "FOREVER" and not s.is_infectious and not s.is_susceptible
+                [s.dwell.kind.name == "FOREVER" and not s.is_infectious
                  for s in d.states]
             )
         infected_now = self._ever_infected & (self.health_state != d.susceptible_index)
@@ -162,6 +168,7 @@ class SequentialSimulator:
             prevalence=self._prevalence(),
             cumulative_attack=float(self._ever_infected.mean()),
             rng_factory=self.rng_factory,
+            days_remaining=self.days_remaining,
         )
         sc.interventions.update_treatments(ctx)
 
@@ -195,6 +202,11 @@ class SequentialSimulator:
             day=day, rng_factory=self.rng_factory,
         )
         self._ever_infected[infected] = True
+
+        # Post-apply hook: components edit state centrally, after the
+        # day's infections are in, before prevalence is recorded.  The
+        # parallel backends run this at the same algorithmic point.
+        sc.interventions.post_apply(ctx)
 
         self.day += 1
         return DayResult(

@@ -1,0 +1,215 @@
+"""PTTS templates for the composable scenario library.
+
+Each template extends the basic S/E/I/R chain of
+:func:`repro.core.disease.sir_model` with the extra states one of the
+:mod:`repro.scenarios.components` needs: a waning-vaccine state, a
+hospital/overflow pair with distinct mortality branches, or two
+co-circulating variant lanes with cross-immunity.  All of them compile
+through the unchanged :class:`~repro.core.disease.DiseaseModel`, so
+every exposure kernel and every execution backend runs them as-is —
+scenario structure lives in the *state graph*, not in backend code.
+"""
+
+from __future__ import annotations
+
+from repro.core.disease import (
+    UNTREATED,
+    DiseaseModel,
+    DwellDistribution,
+    HealthState,
+    Transition,
+)
+
+__all__ = ["waning_model", "hospital_model", "two_variant_model"]
+
+
+def waning_model(
+    efficacy: float = 0.6,
+    wane_lo: int = 4,
+    wane_hi: int = 8,
+    latent_days: int = 2,
+) -> DiseaseModel:
+    """S/V/E/I/R chain with a waning vaccine state.
+
+    ``V`` is partially immune (susceptibility ``1 - efficacy``) and
+    *finite*: after a uniform ``[wane_lo, wane_hi]``-day dwell the
+    person transitions back to ``S``.  The
+    :class:`~repro.scenarios.components.WaningVaccination` component
+    moves covered persons into ``V``; infection of a ``V`` person uses
+    the normal entry state.
+
+    >>> m = waning_model(efficacy=0.5)
+    >>> [s.name for s in m.states]
+    ['S', 'V', 'E', 'I', 'R']
+    >>> m.states[m.index['V']].susceptibility
+    0.5
+    """
+    if not (0.0 <= efficacy <= 1.0):
+        raise ValueError("efficacy must be in [0, 1]")
+    states = [
+        HealthState("S", susceptibility=1.0),
+        HealthState(
+            "V",
+            susceptibility=1.0 - efficacy,
+            dwell=DwellDistribution.uniform(wane_lo, wane_hi),
+            transitions={UNTREATED: (Transition("S", 1.0),)},
+        ),
+        HealthState(
+            "E",
+            dwell=DwellDistribution.fixed(latent_days),
+            transitions={UNTREATED: (Transition("I", 1.0),)},
+        ),
+        HealthState(
+            "I",
+            infectivity=1.0,
+            symptomatic=True,
+            dwell=DwellDistribution.uniform(3, 5),
+            transitions={UNTREATED: (Transition("R", 1.0),)},
+        ),
+        HealthState("R"),
+    ]
+    return DiseaseModel(states, susceptible="S", infection_entry={UNTREATED: "E"})
+
+
+def hospital_model(
+    hospitalization: float = 0.3,
+    mortality: float = 0.1,
+    overflow_mortality: float = 0.4,
+) -> DiseaseModel:
+    """SEIR with a hospital branch and an overflow ward.
+
+    A fraction of infectious persons is hospitalised; the ``H_over``
+    state is never entered by the PTTS itself — the
+    :class:`~repro.scenarios.components.HospitalCapacity` component
+    moves persons there when the ward exceeds its bed count, which
+    raises their mortality branch probability.
+
+    >>> m = hospital_model(mortality=0.1, overflow_mortality=0.4)
+    >>> sorted(m.index)
+    ['D', 'E', 'H', 'H_over', 'I', 'R', 'S']
+    """
+    for name, p in (
+        ("hospitalization", hospitalization),
+        ("mortality", mortality),
+        ("overflow_mortality", overflow_mortality),
+    ):
+        if not (0.0 <= p <= 1.0):
+            raise ValueError(f"{name} must be in [0, 1]")
+    ward_dwell = DwellDistribution.uniform(4, 8)
+    states = [
+        HealthState("S", susceptibility=1.0),
+        HealthState(
+            "E",
+            dwell=DwellDistribution.fixed(2),
+            transitions={UNTREATED: (Transition("I", 1.0),)},
+        ),
+        HealthState(
+            "I",
+            infectivity=1.0,
+            symptomatic=True,
+            dwell=DwellDistribution.uniform(3, 5),
+            transitions={
+                UNTREATED: (
+                    Transition("H", hospitalization),
+                    Transition("R", 1.0 - hospitalization),
+                )
+            },
+        ),
+        HealthState(
+            "H",
+            symptomatic=True,
+            dwell=ward_dwell,
+            transitions={
+                UNTREATED: (
+                    Transition("D", mortality),
+                    Transition("R", 1.0 - mortality),
+                )
+            },
+        ),
+        HealthState(
+            "H_over",
+            symptomatic=True,
+            dwell=ward_dwell,
+            transitions={
+                UNTREATED: (
+                    Transition("D", overflow_mortality),
+                    Transition("R", 1.0 - overflow_mortality),
+                )
+            },
+        ),
+        HealthState("R"),
+        HealthState("D"),
+    ]
+    return DiseaseModel(states, susceptible="S", infection_entry={UNTREATED: "E"})
+
+
+def two_variant_model(
+    cross_immunity: float = 0.7,
+    variant_b_infectivity: float = 1.3,
+) -> DiseaseModel:
+    """Two co-circulating variants with partial cross-immunity.
+
+    Infection enters a neutral ``E_pick`` state; the
+    :class:`~repro.scenarios.components.VariantAssignment` component
+    routes it to the A or B lane before its latency can elapse (the
+    declared ``E_pick -> I_A`` transition is a placeholder that never
+    fires).  Recovered-from-one-variant persons keep susceptibility
+    ``1 - cross_immunity`` and reinfect *into the other lane* via
+    ``infection_entry_by_state`` — compiled into the same flat arrays
+    every kernel and backend consumes.
+
+    >>> m = two_variant_model(cross_immunity=0.5)
+    >>> m.infection_entry_by_state
+    {'R_A': 'E_B2', 'R_B': 'E_A2'}
+    >>> m.states[m.index['R_A']].susceptibility
+    0.5
+    """
+    if not (0.0 <= cross_immunity < 1.0):
+        raise ValueError("cross_immunity must be in [0, 1) — at 1.0 the "
+                         "recovered states stop being reinfectable")
+    if variant_b_infectivity <= 0.0:
+        raise ValueError("variant_b_infectivity must be positive")
+    latent = DwellDistribution.uniform(1, 3)
+    infectious = DwellDistribution.uniform(3, 6)
+    leftover = 1.0 - cross_immunity
+
+    def lane(entry: str, shedder: str, sink: str, infectivity: float):
+        return [
+            HealthState(
+                entry,
+                dwell=latent,
+                transitions={UNTREATED: (Transition(shedder, 1.0),)},
+            ),
+            HealthState(
+                shedder,
+                infectivity=infectivity,
+                symptomatic=True,
+                dwell=infectious,
+                transitions={UNTREATED: (Transition(sink, 1.0),)},
+            ),
+        ]
+
+    states = [
+        HealthState("S", susceptibility=1.0),
+        # Placeholder target keeps the PTTS valid; VariantAssignment
+        # re-routes E_pick persons before the dwell can elapse.
+        HealthState(
+            "E_pick",
+            dwell=latent,
+            transitions={UNTREATED: (Transition("I_A", 1.0),)},
+        ),
+        *lane("E_A", "I_A", "R_A", 1.0),
+        *lane("E_B", "I_B", "R_B", variant_b_infectivity),
+        HealthState("R_A", susceptibility=leftover),
+        HealthState("R_B", susceptibility=leftover),
+        # Second-infection lanes end in the fully immune R_AB.
+        *lane("E_A2", "I_A2", "R_AB", 1.0),
+        *lane("E_B2", "I_B2", "R_AB", variant_b_infectivity),
+        HealthState("R_AB"),
+    ]
+    return DiseaseModel(
+        states,
+        susceptible="S",
+        infection_entry={UNTREATED: "E_pick"},
+        infection_entry_by_state={"R_A": "E_B2", "R_B": "E_A2"},
+    )

@@ -1,0 +1,136 @@
+"""ScenarioSpec: the canonical, hashable form of a scenario choice.
+
+A :class:`ScenarioSpec` is the serialisable counterpart of a registry
+entry plus parameter overrides — the piece :class:`repro.spec.RunSpec`
+embeds (its ``scenario`` / ``scenario_params`` fields) and the lab
+cache hashes.  Like every spec in :mod:`repro.spec`, it round-trips
+through JSON and TOML and has a stable BLAKE2b content hash over the
+canonical (pruned, sorted) form, so a scenario swept as a grid axis
+keys cache entries exactly like any other knob.
+
+>>> s = ScenarioSpec("turnover", {"rate": 0.2})
+>>> ScenarioSpec.from_json(s.to_json()) == s
+True
+>>> s.content_hash() == ScenarioSpec.from_toml(s.to_toml()).content_hash()
+True
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.scenarios import registry
+from repro.spec import _toml_dumps, canonical_json, content_hash
+
+__all__ = ["ScenarioSpec"]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A registered scenario name plus parameter overrides.
+
+    Validation happens at construction: the name must be registered and
+    every override must be a parameter the definition declares, so an
+    invalid spec never reaches a worker process.
+
+    >>> ScenarioSpec("turnover").canonical()
+    {'name': 'turnover'}
+    >>> ScenarioSpec("turnover", {"no_such_knob": 1})
+    Traceback (most recent call last):
+    ...
+    ValueError: scenario 'turnover' has no parameter(s) ['no_such_knob'] (accepted: ['rate'])
+    """
+
+    name: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        registry.get(self.name).params(**self.params)
+
+    def canonical(self) -> dict:
+        """Pruned form: default (empty) params hash like absent params.
+
+        >>> a = ScenarioSpec("turnover", {})
+        >>> b = ScenarioSpec("turnover")
+        >>> a.content_hash() == b.content_hash()
+        True
+        """
+        d = {"name": self.name}
+        if self.params:
+            d["params"] = dict(self.params)
+        return d
+
+    def content_hash(self) -> str:
+        """BLAKE2b over :func:`repro.spec.canonical_json` of
+        :meth:`canonical`.
+
+        >>> len(ScenarioSpec("turnover").content_hash())
+        32
+        """
+        return content_hash(self.canonical())
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialise; inverse of :meth:`from_json`.
+
+        >>> ScenarioSpec("turnover").to_json()
+        '{"name": "turnover"}'
+        """
+        return json.dumps(self.canonical(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ScenarioSpec":
+        """Build from a canonical dict.
+
+        >>> ScenarioSpec.from_dict({"name": "turnover"}).name
+        'turnover'
+        """
+        return cls(name=d["name"], params=dict(d.get("params") or {}))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Inverse of :meth:`to_json`.
+
+        >>> ScenarioSpec.from_json('{"name": "turnover"}').params
+        {}
+        """
+        return cls.from_dict(json.loads(text))
+
+    def to_toml(self) -> str:
+        """TOML form (round-trips through ``tomllib``).
+
+        >>> print(ScenarioSpec("turnover").to_toml())
+        name = "turnover"
+        """
+        return _toml_dumps(self.canonical())
+
+    @classmethod
+    def from_toml(cls, text: str) -> "ScenarioSpec":
+        """Inverse of :meth:`to_toml`.
+
+        >>> ScenarioSpec.from_toml('name = "turnover"').name
+        'turnover'
+        """
+        import tomllib
+
+        return cls.from_dict(tomllib.loads(text))
+
+    def canonical_json(self) -> str:
+        """The exact byte string :meth:`content_hash` digests.
+
+        >>> ScenarioSpec("turnover").canonical_json()
+        '{"name":"turnover"}'
+        """
+        return canonical_json(self.canonical())
+
+    def build(self, graph, **kwargs):
+        """Materialise via :func:`repro.scenarios.registry.build_scenario`.
+
+        >>> from repro.spec import PopulationSpec
+        >>> g = PopulationSpec(n_persons=50, name="doc").build()
+        >>> ScenarioSpec("turnover").build(g, n_days=2).n_days
+        2
+        """
+        return registry.build_scenario(
+            self.name, graph, params=self.params, **kwargs
+        )

@@ -188,12 +188,13 @@ class SmpSimulator:
         self.timeout = timeout
         self._fault = _fault
         self.rng_factory = scenario.rng_factory
+        # Clear component trigger/array state before the workers fork a
+        # snapshot of the scenario, so one Scenario is reusable.
+        scenario.interventions.reset()
         d = scenario.disease
         self._terminal_states = np.array(
             [
-                s.dwell.kind.name == "FOREVER"
-                and not s.is_infectious
-                and not s.is_susceptible
+                s.dwell.kind.name == "FOREVER" and not s.is_infectious
                 for s in d.states
             ]
         )
@@ -278,12 +279,20 @@ class SmpSimulator:
                     prevalence=prevalence,
                     cumulative_attack=float(shared.ever_infected.mean()),
                     rng_factory=self.rng_factory,
+                    days_remaining=shared.days_remaining,
                 )
                 sc.interventions.update_treatments(ctx)
                 # Workers are parked on their pipes; counters are quiet.
                 shared.visit_counters[:] = 0
                 shared.infect_counters[:] = 0
-                kick = protocol.encode_day(day, prevalence, ctx.cumulative_attack)
+                # Components whose visit filters depend on central
+                # state broadcast it with the kick; forked workers hold
+                # stale pre-run snapshots otherwise.  Empty for the
+                # built-in interventions (exact 32-byte budget).
+                kick = protocol.encode_day(
+                    day, prevalence, ctx.cumulative_attack,
+                    sc.interventions.wire_state(),
+                )
                 for conn in parent_conns:
                     conn.send_bytes(kick)
                 out.wire_bytes += len(kick) * len(parent_conns)
@@ -293,7 +302,7 @@ class SmpSimulator:
                 )
                 self._ingest_day(
                     out, day, day_start, t_origin, reports,
-                    seeded if day == 0 else 0, shared,
+                    seeded if day == 0 else 0, shared, ctx,
                 )
 
             out.result.final_histogram = state_histogram(
@@ -382,9 +391,14 @@ class SmpSimulator:
         return reports
 
     def _ingest_day(
-        self, out: SmpResult, day, day_start, t_origin, reports, seeded, shared
+        self, out: SmpResult, day, day_start, t_origin, reports, seeded, shared, ctx
     ) -> None:
         new_infections = sum(r.infected for r in reports) + seeded
+        # Post-apply hook on the shared arrays: the workers have all
+        # reported and are parked on their pipes, so this central edit
+        # is race-free and lands at the same algorithmic point as the
+        # sequential simulator (after apply, before prevalence).
+        self.scenario.interventions.post_apply(ctx)
         prevalence = self._prevalence(shared.health_state, shared.ever_infected)
         day_result = DayResult(
             day=day,

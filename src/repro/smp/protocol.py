@@ -89,13 +89,22 @@ class DayReport:
     stats_interactions: tuple[np.ndarray, np.ndarray] | None = None
 
 
-def encode_day(day: int, prevalence: float, cumulative_attack: float) -> bytes:
+def encode_day(
+    day: int, prevalence: float, cumulative_attack: float, extra: bytes = b""
+) -> bytes:
     """The driver's day kick-off (fixed :data:`COMMAND_NBYTES` bytes).
+
+    ``extra`` appends an opaque scenario wire-state blob (see
+    :meth:`repro.core.interventions.InterventionSchedule.wire_state`);
+    workers detect it by message length, so the common empty case keeps
+    the exact 32-byte budget.
 
     >>> decode_command(encode_day(3, 0.25, 0.5))
     (0, 3, 0.25, 0.5)
+    >>> decode_command(encode_day(3, 0.25, 0.5, b"state"))
+    (0, 3, 0.25, 0.5)
     """
-    return _COMMAND.pack(OP_DAY, day, prevalence, cumulative_attack)
+    return _COMMAND.pack(OP_DAY, day, prevalence, cumulative_attack) + extra
 
 
 def encode_stop() -> bytes:
@@ -108,8 +117,12 @@ def encode_stop() -> bytes:
 
 
 def decode_command(buf: bytes) -> tuple[int, int, float, float]:
-    """Decode a downlink command into ``(opcode, day, prevalence, attack)``."""
-    return _COMMAND.unpack(buf)
+    """Decode a downlink command into ``(opcode, day, prevalence, attack)``.
+
+    Ignores any trailing wire-state blob (``buf[COMMAND_NBYTES:]``);
+    the worker slices that off separately.
+    """
+    return _COMMAND.unpack_from(buf)
 
 
 def report_nbytes(

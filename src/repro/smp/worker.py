@@ -171,11 +171,15 @@ def _run(ctx: WorkerContext) -> None:
         op, day, prevalence, cumulative_attack = protocol.decode_command(buf)
         if op == protocol.OP_STOP:
             break
+        if len(buf) > protocol.COMMAND_NBYTES:
+            # The driver appended central component state (quarantine
+            # rosters etc.) that our forked snapshot doesn't have.
+            sc.interventions.load_wire_state(buf[protocol.COMMAND_NBYTES:])
         day_ctx = DayContext(
             day=day, graph=g, disease=d,
             health_state=shared.health_state, treatment=shared.treatment,
             prevalence=prevalence, cumulative_attack=cumulative_attack,
-            rng_factory=rngf,
+            rng_factory=rngf, days_remaining=shared.days_remaining,
         )
 
         # -- step 1: person phase (PTTS + visit filtering + send) --------

@@ -349,10 +349,19 @@ class RunSpec:
     text (intervention objects hold trigger state, so the spec stores
     the *script* and builds a fresh schedule per run).
 
+    ``scenario`` names a registered :mod:`repro.scenarios` entry (with
+    overrides in ``scenario_params``); it supplies both the disease
+    model and the model components, so ``disease`` / ``disease_params``
+    must stay at their defaults when it is set.  DSL interventions
+    still compose on top (components run first in the schedule).
+
     >>> s = RunSpec(population=PopulationSpec(n_persons=150), n_days=3)
     >>> s2 = dataclasses.replace(s, seed=1)
     >>> s.content_hash() != s2.content_hash()
     True
+    >>> t = dataclasses.replace(s, scenario="turnover")
+    >>> t.canonical()["scenario"]
+    'turnover'
     """
 
     population: PopulationSpec
@@ -364,6 +373,8 @@ class RunSpec:
     disease: str = "influenza"
     disease_params: dict = field(default_factory=dict)
     interventions: str = ""
+    scenario: str = ""
+    scenario_params: dict = field(default_factory=dict)
     runtime: RuntimeSpec = field(default_factory=RuntimeSpec)
 
     def __post_init__(self) -> None:
@@ -379,6 +390,17 @@ class RunSpec:
             )
         if self.disease.startswith("ptts:") and self.disease_params:
             raise ValueError("disease_params only apply to named templates")
+        if self.scenario_params and not self.scenario:
+            raise ValueError("scenario_params need a scenario name")
+        if self.scenario:
+            if self.disease != "influenza" or self.disease_params:
+                raise ValueError(
+                    "a scenario supplies its own disease model; leave "
+                    "disease/disease_params at their defaults"
+                )
+            from repro.scenarios import ScenarioSpec
+
+            ScenarioSpec(self.scenario, self.scenario_params)
 
     # -- serialisation --------------------------------------------------
     def canonical(self) -> dict:
@@ -392,6 +414,8 @@ class RunSpec:
             "disease": self.disease,
             "disease_params": self.disease_params or None,
             "interventions": self.interventions or None,
+            "scenario": self.scenario or None,
+            "scenario_params": self.scenario_params or None,
             "runtime": self.runtime.canonical(),
         }
         return _prune(d)
@@ -441,6 +465,10 @@ class RunSpec:
     def build_disease(self):
         from repro.core.disease import influenza_model, sir_model
 
+        if self.scenario:
+            from repro.scenarios import build_components
+
+            return build_components(self.scenario, **self.scenario_params)[0]
         if self.disease == "influenza":
             return influenza_model(**self.disease_params)
         if self.disease == "sir":
@@ -465,16 +493,29 @@ class RunSpec:
         ``graph`` short-circuits the population build (pass a cached or
         pre-split graph).
         """
+        from repro.core.interventions import InterventionSchedule
         from repro.core.scenario import Scenario
         from repro.core.transmission import TransmissionModel
 
         if graph is None:
             graph = self.population.build()
+        if self.scenario:
+            from repro.scenarios import build_components
+
+            disease, components = build_components(
+                self.scenario, **self.scenario_params
+            )
+            interventions = InterventionSchedule(
+                components + list(self.build_interventions())
+            )
+        else:
+            disease = self.build_disease()
+            interventions = self.build_interventions()
         return Scenario(
             graph=graph,
-            disease=self.build_disease(),
+            disease=disease,
             transmission=TransmissionModel(self.transmissibility),
-            interventions=self.build_interventions(),
+            interventions=interventions,
             n_days=self.n_days,
             initial_infections=self.initial_infections,
             seed=self.seed,

@@ -119,6 +119,7 @@ class RngFactory:
     ``4``       partitioner tie-breaking
     ``5``       machine/network jitter
     ``6``       baseline simulators (FastSIR, Dijkstra replications)
+    ``7``       scenario model components (:mod:`repro.scenarios`)
     ==========  =====================================================
     """
 
@@ -130,6 +131,7 @@ class RngFactory:
     PARTITION = 4
     MACHINE = 5
     BASELINE = 6
+    SCENARIO = 7
 
     def __init__(self, root_seed: int = 0):
         if not isinstance(root_seed, (int, np.integer)):

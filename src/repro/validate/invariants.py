@@ -69,6 +69,16 @@ class InvariantChecker:
         The scenario's compiled PTTS model.
     distribution:
         The object→chare :class:`~repro.core.parallel.Distribution`.
+    extra_transitions:
+        Additional ``(src, dst)`` state-name pairs a scenario component
+        may move persons along outside the declared PTTS transitions
+        (e.g. a vaccination campaign's ``S -> V`` edit, hospital
+        overflow) — see
+        :meth:`repro.core.interventions.Intervention.extra_transitions`.
+    reinfection_ok:
+        When True, components can return persons to a susceptible
+        state, so the conservation check relaxes to "cumulative
+        infections >= unique ever-infected persons".
 
     Attach one by passing ``validate=True`` to
     :class:`~repro.core.parallel.ParallelEpiSimdemics`; every check it
@@ -92,10 +102,18 @@ class InvariantChecker:
     True
     """
 
-    def __init__(self, graph, disease, distribution):
+    def __init__(
+        self,
+        graph,
+        disease,
+        distribution,
+        extra_transitions: tuple = (),
+        reinfection_ok: bool = False,
+    ):
         self.graph = graph
         self.disease = disease
         self.distribution = distribution
+        self.reinfection_ok = bool(reinfection_ok)
         self.checks_passed = 0
         #: per-day infection events (the oracle's parallel-side record)
         self.infection_log: dict[int, list] = {}
@@ -108,11 +126,11 @@ class InvariantChecker:
         self._infects_sent = 0
         self._infects_recv = 0
         self._rng_keys_used: set[tuple[int, int, int]] = set()
-        self._allowed = self._allowed_transitions(disease)
+        self._allowed = self._allowed_transitions(disease, extra_transitions)
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _allowed_transitions(disease) -> np.ndarray:
+    def _allowed_transitions(disease, extra_transitions: tuple = ()) -> np.ndarray:
         """Boolean matrix: ``allowed[s0, s1]`` iff a person may move from
         state ``s0`` to ``s1`` within one simulated day."""
         n = disease.n_states
@@ -121,9 +139,19 @@ class InvariantChecker:
             for transitions in s.transitions.values():
                 for tr in transitions:
                     allowed[i, disease.index[tr.target]] = True
-        # Infection: susceptible -> every treatment's entry state.
-        for t in disease.treatments:
-            allowed[disease.susceptible_index, disease.entry_state(t)] = True
+        # Infection: every susceptible state -> its entry state(s) —
+        # per-state overrides first, else every treatment's entry.
+        by_state = getattr(disease, "infection_entry_by_state", {})
+        for i, s in enumerate(disease.states):
+            if not s.is_susceptible:
+                continue
+            if s.name in by_state:
+                allowed[i, disease.index[by_state[s.name]]] = True
+            else:
+                for t in disease.treatments:
+                    allowed[i, disease.entry_state(t)] = True
+        for src, dst in extra_transitions:
+            allowed[disease.index[src], disease.index[dst]] = True
         return allowed
 
     def _fail(self, message: str) -> None:
@@ -297,10 +325,15 @@ class InvariantChecker:
             )
         self._ok()
         cum = curve.cumulative_infections[-1] if curve.cumulative_infections else 0
-        if cum != int(ever_infected.sum()):
+        unique = int(ever_infected.sum())
+        # With reinfection (waned immunity, demographic turnover) one
+        # person can be infected several times, so the cumulative count
+        # may exceed — but never undershoot — the unique-person count.
+        broken = cum < unique if self.reinfection_ok else cum != unique
+        if broken:
             self._fail(
                 f"infection conservation broken on day {day}: the epi-curve "
-                f"counts {cum} cumulative infections but {int(ever_infected.sum())} "
+                f"counts {cum} cumulative infections but {unique} "
                 f"persons were ever infected"
             )
         self._ok()

@@ -57,11 +57,14 @@ __all__ = [
     "KernelDiffReport",
     "SmpCellResult",
     "SmpOracleReport",
+    "ScenarioCellResult",
+    "ScenarioOracleReport",
     "sequential_reference",
     "run_cell",
     "run_matrix",
     "run_kernel_differential",
     "run_smp_matrix",
+    "run_scenario_matrix",
 ]
 
 DISTRIBUTIONS = ("rr", "gp", "gp-split")
@@ -660,6 +663,179 @@ def run_smp_matrix(
                 status = "exact" if cell.equal else "DIVERGED"
                 progress(f"{cell.label:<16} {status}")
     return SmpOracleReport(cells=cells, n_days=n_days)
+
+
+# ----------------------------------------------------------------------
+# the scenario matrix (every registered scenario × backends × kernels)
+# ----------------------------------------------------------------------
+@dataclass
+class ScenarioCellResult:
+    """Outcome of one (scenario, backend/kernel) cell."""
+
+    scenario: str
+    backend: str
+    equal: bool
+    checks_passed: int = 0
+    divergence: Divergence | None = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.scenario}×{self.backend}"
+
+
+@dataclass
+class ScenarioOracleReport:
+    """All cells of one scenario differential run.
+
+    >>> r = ScenarioOracleReport(cells=[], n_persons=300, n_days=6)
+    >>> r.all_equal
+    True
+    """
+
+    cells: list[ScenarioCellResult]
+    n_persons: int
+    n_days: int
+
+    @property
+    def all_equal(self) -> bool:
+        return all(c.equal for c in self.cells)
+
+    @property
+    def total_checks(self) -> int:
+        return sum(c.checks_passed for c in self.cells)
+
+    def format(self) -> str:
+        lines = [
+            f"scenario differential oracle: {len(self.cells)} cells, "
+            f"{self.n_persons} persons × {self.n_days} days"
+        ]
+        for c in self.cells:
+            status = "exact" if c.equal else "DIVERGED"
+            extra = f"  ({c.checks_passed} checks)" if c.checks_passed else ""
+            lines.append(f"  {c.label:<36} {status:>8}{extra}")
+            if c.divergence is not None:
+                lines.append("    " + c.divergence.format().replace("\n", "\n    "))
+        lines.append(
+            "every scenario bit-identical across backends and kernels"
+            if self.all_equal
+            else "EQUIVALENCE BROKEN — see divergences above"
+        )
+        return "\n".join(lines)
+
+
+def run_scenario_matrix(
+    *,
+    scenarios: tuple[str, ...] | None = None,
+    workers: tuple[int, ...] = (1, 2),
+    machine: MachineConfig | None = None,
+    n_days: int = 6,
+    seed: int = 0,
+    initial_infections: int = 8,
+    transmissibility: float = 3.0e-4,
+    persons: int = 300,
+    kernel: str | None = "flat",
+    reference_kernel: str | None = "grouped",
+    ring_capacity: int = 1024,
+    progress=None,
+) -> ScenarioOracleReport:
+    """Certify every registered scenario bit-identical across backends.
+
+    For each scenario name (default: all of
+    :func:`repro.scenarios.names`) the grouped-kernel sequential run is
+    the reference; the cells compare it against the sequential
+    simulator on ``kernel`` (plus the compiled kernel when a C
+    toolchain is present), the chare runtime with invariant checks on
+    (which also exercises each component's declared
+    ``extra_transitions``), and the shared-memory backend at each
+    worker count — the same three exact diffs as the base matrix.
+
+    >>> report = run_scenario_matrix(scenarios=("turnover",), workers=(1,),
+    ...                              n_days=2, persons=80)
+    >>> report.all_equal
+    True
+    """
+    from repro.core import ckernel
+    from repro.scenarios import registry
+    from repro.smp import SmpSimulator
+    from repro.spec import PopulationSpec
+
+    machine = machine or DEFAULT_MACHINE
+    n_pes = Machine(machine).n_pes
+    graph = PopulationSpec(
+        n_persons=persons, seed=seed, name="scenario-oracle"
+    ).build()
+    partition = _make_partition(graph, "rr", n_pes)
+
+    def build(name: str) -> Scenario:
+        return registry.build_scenario(
+            name, graph, n_days=n_days, seed=seed,
+            initial_infections=initial_infections,
+            transmissibility=transmissibility,
+        )
+
+    def emit(cell: ScenarioCellResult) -> None:
+        cells.append(cell)
+        if progress is not None:
+            status = "exact" if cell.equal else "DIVERGED"
+            progress(f"{cell.label:<36} {status}")
+
+    cells: list[ScenarioCellResult] = []
+    seq_kernels = [kernel] + (["compiled"] if ckernel.available() else [])
+    for name in scenarios or tuple(registry.names()):
+        sc = build(name)
+        seq_result, seq_events, seq_state, seq_remaining = sequential_reference(
+            sc, reference_kernel
+        )
+        for k in seq_kernels:
+            _res, ev, st, rem = sequential_reference(build(name), k)
+            divergence = (
+                _diff_events(sc, seq_events, ev)
+                or _diff_curve(sc, seq_result.curve, _res.curve)
+                or _diff_final_state_arrays(seq_state, seq_remaining, st, rem)
+            )
+            emit(ScenarioCellResult(
+                scenario=name, backend=f"seq-{k}",
+                equal=divergence is None, divergence=divergence,
+            ))
+        sim = run_cell(build(name), machine, partition, "cd", "aggregated",
+                       kernel=kernel)
+        divergence = (
+            _diff_events(sim.scenario, seq_events, {
+                d: {(ev.person, ev.location) for ev in evs}
+                for d, evs in sim.checker.infection_log.items()
+            })
+            or _diff_curve(sim.scenario, seq_result.curve, sim.curve)
+            or _diff_final_state(seq_state, seq_remaining, sim)
+        )
+        emit(ScenarioCellResult(
+            scenario=name, backend="charm-rr",
+            equal=divergence is None,
+            checks_passed=sim.checker.checks_passed,
+            divergence=divergence,
+        ))
+        for n_workers in workers:
+            out = SmpSimulator(
+                build(name), n_workers=n_workers, kernel=kernel,
+                ring_capacity=ring_capacity,
+            ).run()
+            divergence = (
+                _diff_events(sc, seq_events, {
+                    d: {(ev.person, ev.location) for ev in evs}
+                    for d, evs in out.infection_log.items()
+                })
+                or _diff_curve(sc, seq_result.curve, out.result.curve)
+                or _diff_final_state_arrays(
+                    seq_state, seq_remaining,
+                    out.final_health_state, out.final_days_remaining,
+                )
+            )
+            emit(ScenarioCellResult(
+                scenario=name, backend=f"smp-w{n_workers}",
+                equal=divergence is None, divergence=divergence,
+            ))
+    return ScenarioOracleReport(
+        cells=cells, n_persons=graph.n_persons, n_days=n_days
+    )
 
 
 def _diff_final_state_arrays(

@@ -27,7 +27,13 @@ from repro.core.scenario import Scenario
 from repro.core.transmission import TransmissionModel
 from repro.synthpop.graph import MINUTES_PER_DAY, LocationType, PersonLocationGraph
 
-__all__ = ["PROFILES", "visit_graphs", "scenarios", "machine_configs"]
+__all__ = [
+    "PROFILES",
+    "visit_graphs",
+    "scenarios",
+    "scenario_compositions",
+    "machine_configs",
+]
 
 PROFILES = ("uniform", "heavy-tail", "zero-visits", "one-person", "single-subloc")
 
@@ -137,6 +143,44 @@ def scenarios(
         n_days=draw(st.integers(1, max_days)),
         initial_infections=draw(st.integers(0, min(3, graph.n_persons))),
         seed=draw(st.integers(0, 2**16)),
+    )
+
+
+@st.composite
+def scenario_compositions(
+    draw,
+    max_persons: int = 24,
+    max_days: int = 5,
+    profiles: tuple[str, ...] = PROFILES,
+):
+    """Draw a registered model-component scenario on a drawn graph.
+
+    Samples a :mod:`repro.scenarios` registry entry, builds it over an
+    adversarial :func:`visit_graphs` graph, and optionally composes a
+    model-independent extra component on top (demographic turnover, or
+    the symptomatic stay-home behavioural intervention) — exercising
+    the claim that components stack without caring about each other.
+    """
+    from repro.core.interventions import StayHomeWhenSymptomatic
+    from repro.scenarios import DemographicTurnover, names
+    from repro.scenarios.registry import build_scenario
+
+    graph = draw(visit_graphs(max_persons=max_persons, profiles=profiles))
+    name = draw(st.sampled_from(names()))
+    extra = draw(st.sampled_from([None, "turnover", "stay-home"]))
+    extras = []
+    if extra == "turnover" and name != "turnover":
+        extras.append(DemographicTurnover(rate=draw(st.floats(0.01, 0.3))))
+    elif extra == "stay-home":
+        extras.append(StayHomeWhenSymptomatic(compliance=draw(st.floats(0.1, 1.0))))
+    return build_scenario(
+        name,
+        graph,
+        n_days=draw(st.integers(1, max_days)),
+        seed=draw(st.integers(0, 2**16)),
+        initial_infections=draw(st.integers(0, min(3, graph.n_persons))),
+        transmissibility=draw(st.floats(1e-5, 5e-3)),
+        extra_interventions=extras,
     )
 
 

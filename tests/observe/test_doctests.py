@@ -1,10 +1,11 @@
 """Every documented example in the audited public APIs must run.
 
 The docstring-audit contract: each ``__all__`` export of
-``repro.observe``, ``repro.validate``, ``repro.charm.trace`` and
-``repro.synthpop`` carries a runnable example.  CI also runs ``pytest
---doctest-modules`` over these trees directly; this tier-1 test keeps
-the guarantee under a plain ``pytest tests/`` run too.
+``repro.observe``, ``repro.validate``, ``repro.charm.trace``,
+``repro.synthpop`` and ``repro.scenarios`` carries a runnable example.
+CI also runs ``pytest --doctest-modules`` over these trees directly;
+this tier-1 test keeps the guarantee under a plain ``pytest tests/``
+run too.
 """
 
 import doctest
@@ -15,6 +16,10 @@ import repro.charm.trace
 import repro.observe.export
 import repro.observe.profile
 import repro.observe.recorder
+import repro.scenarios.components
+import repro.scenarios.models
+import repro.scenarios.registry
+import repro.scenarios.spec
 import repro.synthpop.generator
 import repro.synthpop.graph
 import repro.synthpop.io
@@ -32,6 +37,10 @@ MODULES = [
     repro.charm.trace,
     repro.validate.invariants,
     repro.validate.oracle,
+    repro.scenarios.components,
+    repro.scenarios.models,
+    repro.scenarios.registry,
+    repro.scenarios.spec,
     repro.synthpop.generator,
     repro.synthpop.graph,
     repro.synthpop.io,
@@ -57,6 +66,7 @@ def _documented_exports(mod):
     __import__("repro.observe", fromlist=["x"]),
     __import__("repro.validate", fromlist=["x"]),
     __import__("repro.synthpop", fromlist=["x"]),
+    __import__("repro.scenarios", fromlist=["x"]),
     repro.charm.trace,
 ], ids=lambda m: m.__name__)
 def test_every_export_has_docstring_with_example(mod):

@@ -1,0 +1,78 @@
+"""PTTS scenario templates: structure and parameter validation.
+
+The templates compile through the unchanged DiseaseModel, so the flat
+arrays every kernel consumes already exist; these tests pin the state
+graphs the components rely on (names, susceptibilities, entry lanes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.disease import UNTREATED
+from repro.scenarios import hospital_model, two_variant_model, waning_model
+
+
+class TestWaningModel:
+    def test_state_chain(self):
+        m = waning_model(efficacy=0.5, wane_lo=3, wane_hi=6)
+        assert [s.name for s in m.states] == ["S", "V", "E", "I", "R"]
+        assert m.states[m.index["V"]].susceptibility == 0.5
+        # V is finite: it wanes back to S.
+        v = m.states[m.index["V"]]
+        (tr,) = v.transitions[UNTREATED]
+        assert tr.target == "S"
+
+    def test_wane_dwell_range(self):
+        m = waning_model(wane_lo=3, wane_hi=6)
+        gen = np.random.default_rng(0)
+        samples = m.states[m.index["V"]].dwell.sample(gen, 500)
+        assert samples.min() >= 3 and samples.max() <= 6
+
+    def test_efficacy_bounds(self):
+        with pytest.raises(ValueError, match="efficacy"):
+            waning_model(efficacy=1.5)
+
+
+class TestHospitalModel:
+    def test_states_and_branches(self):
+        m = hospital_model(hospitalization=0.3, mortality=0.1,
+                           overflow_mortality=0.4)
+        assert sorted(m.index) == ["D", "E", "H", "H_over", "I", "R", "S"]
+        h = {tr.target: tr.prob
+             for tr in m.states[m.index["H"]].transitions[UNTREATED]}
+        over = {tr.target: tr.prob
+                for tr in m.states[m.index["H_over"]].transitions[UNTREATED]}
+        assert h["D"] == 0.1 and over["D"] == 0.4
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="mortality"):
+            hospital_model(mortality=-0.1)
+
+
+class TestTwoVariantModel:
+    def test_reinfection_lanes(self):
+        m = two_variant_model(cross_immunity=0.6)
+        assert m.infection_entry_by_state == {"R_A": "E_B2", "R_B": "E_A2"}
+        for name in ("R_A", "R_B"):
+            s = m.states[m.index[name]]
+            assert s.susceptibility == pytest.approx(0.4)
+            # Absorbing until reinfected: no declared transitions out.
+            assert s.dwell.kind.name == "FOREVER" and not s.transitions
+
+    def test_variant_b_is_hotter(self):
+        m = two_variant_model(variant_b_infectivity=1.3)
+        assert m.states[m.index["I_B"]].infectivity == pytest.approx(1.3)
+        assert m.states[m.index["I_B2"]].infectivity == pytest.approx(1.3)
+        assert m.states[m.index["I_A"]].infectivity == 1.0
+
+    def test_terminal_state_is_fully_immune(self):
+        m = two_variant_model()
+        assert m.states[m.index["R_AB"]].susceptibility == 0.0
+
+    def test_parameter_bounds(self):
+        with pytest.raises(ValueError, match="cross_immunity"):
+            two_variant_model(cross_immunity=1.0)
+        with pytest.raises(ValueError, match="variant_b_infectivity"):
+            two_variant_model(variant_b_infectivity=0.0)

@@ -1,0 +1,77 @@
+"""The scenario as a sweep axis in repro.lab.
+
+``scenario`` is a top-level RunSpec field, so the lab grid machinery
+(``spec_with`` / ``expand``) sweeps it like any other knob; the
+content-addressed artifact cache must hit on re-sweep because every
+scenario shares the same population.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lab import ResultStore, SweepConfig, expand, run_sweep, spec_with
+from repro.spec import PopulationSpec, RunSpec
+
+
+def config(**overrides) -> SweepConfig:
+    defaults = dict(
+        base=RunSpec(
+            population=PopulationSpec(n_persons=150, seed=1, name="scen-axis"),
+            n_days=3,
+            initial_infections=6,
+            transmissibility=4e-4,
+        ),
+        grid={"scenario": ["turnover", "waning-vaccination", "two-variant"]},
+        replications=2,
+        master_seed=5,
+        name="scenario-axis",
+    )
+    defaults.update(overrides)
+    return SweepConfig(**defaults)
+
+
+def test_spec_with_sets_the_scenario_axis():
+    base = config().base
+    swept = spec_with(base, "scenario", "hospital-capacity")
+    assert swept.scenario == "hospital-capacity"
+    assert swept.population is base.population
+
+
+def test_expansion_varies_scenario_not_population():
+    tasks = expand(config())
+    assert len(tasks) == 6
+    assert {t.point["scenario"] for t in tasks} == {
+        "turnover", "waning-vaccination", "two-variant",
+    }
+    assert len({t.spec.population.content_hash() for t in tasks}) == 1
+    assert len({t.spec.content_hash() for t in tasks}) == 6
+
+
+def test_sweep_runs_and_caches_across_resweeps(tmp_path):
+    cfg = config()
+    first = run_sweep(cfg, workers=0, store_dir=tmp_path / "a",
+                      cache_dir=tmp_path / "cache")
+    assert first.n_runs == 6
+    assert first.builds >= 1
+    # Warm cache: the shared population is never rebuilt.
+    second = run_sweep(cfg, workers=0, store_dir=tmp_path / "b",
+                       cache_dir=tmp_path / "cache")
+    assert second.builds == 0
+    assert second.cache_hit_rate == 1.0
+    a = (tmp_path / "a" / "results.jsonl").read_bytes()
+    b = (tmp_path / "b" / "results.jsonl").read_bytes()
+    assert a == b
+
+
+def test_scenarios_produce_distinct_trajectories(tmp_path):
+    run_sweep(config(), workers=0, store_dir=tmp_path)
+    records = ResultStore(tmp_path).records()
+    by_scenario = {}
+    for r in records:
+        key = json.dumps(r["point"], sort_keys=True)
+        by_scenario.setdefault(key, []).append(tuple(r["new_infections"]))
+    assert len(by_scenario) == 3
+    # Different models, same population/seed: different epidemics.
+    trajectories = {v[0] for v in by_scenario.values()}
+    assert len(trajectories) == 3
